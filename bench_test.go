@@ -1,0 +1,300 @@
+// Package cloudmc_test hosts the benchmark harness: one benchmark per
+// table and figure in the paper's evaluation (§4), plus ablation
+// benches for the design choices called out in DESIGN.md. Each
+// BenchmarkFigureNN regenerates its artifact at a reduced scale; the
+// full-scale numbers in EXPERIMENTS.md come from cmd/mcfigures.
+//
+// Run a single figure with e.g.:
+//
+//	go test -bench BenchmarkFigure01 -benchtime 1x
+package cloudmc_test
+
+import (
+	"sync"
+	"testing"
+
+	"cloudmc/internal/core"
+	"cloudmc/internal/experiment"
+	"cloudmc/internal/memctrl"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/workload"
+)
+
+// benchConfig is smaller than experiment.Quick so the whole harness
+// stays minutes, not hours, on a laptop.
+func benchConfig() experiment.Config {
+	return experiment.Config{
+		MeasureCycles: 60_000,
+		WarmupCycles:  15_000,
+		Seed:          1,
+	}
+}
+
+// sharedStudy memoizes simulations across benchmarks in one `go test`
+// invocation: Figures 1-7 share the scheduler grid, 9-11 the page
+// grid, 12-14 and Table 4 the channel grid.
+var (
+	studyOnce sync.Once
+	study     *experiment.Study
+)
+
+func sharedStudyInstance() *experiment.Study {
+	studyOnce.Do(func() { study = experiment.NewStudy(benchConfig()) })
+	return study
+}
+
+// tableSink prevents dead-code elimination of table construction.
+var tableSink *experiment.Table
+
+func benchTable(b *testing.B, build func(*experiment.Study) *experiment.Table) {
+	b.Helper()
+	s := sharedStudyInstance()
+	for i := 0; i < b.N; i++ {
+		tableSink = build(s)
+	}
+	if tableSink == nil || len(tableSink.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkFigure01UserIPC regenerates Figure 1 (user IPC by
+// scheduler, normalized to FR-FCFS).
+func BenchmarkFigure01UserIPC(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure01() })
+}
+
+// BenchmarkFigure02RowHitRate regenerates Figure 2 (row-buffer hit
+// rate by scheduler).
+func BenchmarkFigure02RowHitRate(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure02() })
+}
+
+// BenchmarkFigure03MemLatency regenerates Figure 3 (normalized average
+// memory access latency by scheduler).
+func BenchmarkFigure03MemLatency(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure03() })
+}
+
+// BenchmarkFigure04MPKI regenerates Figure 4 (L2 MPKI by scheduler).
+func BenchmarkFigure04MPKI(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure04() })
+}
+
+// BenchmarkFigure05ReadQueue regenerates Figure 5 (average read queue
+// length).
+func BenchmarkFigure05ReadQueue(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure05() })
+}
+
+// BenchmarkFigure06WriteQueue regenerates Figure 6 (average write
+// queue length).
+func BenchmarkFigure06WriteQueue(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure06() })
+}
+
+// BenchmarkFigure07Bandwidth regenerates Figure 7 (memory bandwidth
+// utilization).
+func BenchmarkFigure07Bandwidth(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure07() })
+}
+
+// BenchmarkFigure08SingleAccess regenerates Figure 8 (single-access
+// row-buffer activation percentage under OAPM).
+func BenchmarkFigure08SingleAccess(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure08() })
+}
+
+// BenchmarkFigure09PagePolicyHits regenerates Figure 9 (row-buffer hit
+// rate by page policy, normalized to OAPM).
+func BenchmarkFigure09PagePolicyHits(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure09() })
+}
+
+// BenchmarkFigure10PagePolicyLatency regenerates Figure 10 (memory
+// latency by page policy).
+func BenchmarkFigure10PagePolicyLatency(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure10() })
+}
+
+// BenchmarkFigure11PagePolicyIPC regenerates Figure 11 (user IPC by
+// page policy).
+func BenchmarkFigure11PagePolicyIPC(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure11() })
+}
+
+// BenchmarkFigure12Channels regenerates Figure 12 (user IPC vs channel
+// count, best mapping per workload).
+func BenchmarkFigure12Channels(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure12() })
+}
+
+// BenchmarkFigure13ChannelHits regenerates Figure 13 (row-buffer hit
+// rate vs channel count).
+func BenchmarkFigure13ChannelHits(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure13() })
+}
+
+// BenchmarkFigure14ChannelLatency regenerates Figure 14 (memory access
+// latency vs channel count).
+func BenchmarkFigure14ChannelLatency(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Figure14() })
+}
+
+// BenchmarkTable04AddressMapping regenerates Table 4 (best mapping
+// scheme per workload at 2 and 4 channels).
+func BenchmarkTable04AddressMapping(b *testing.B) {
+	benchTable(b, func(s *experiment.Study) *experiment.Table { return s.Table4() })
+}
+
+// --- Ablation benches (DESIGN.md §7) ------------------------------
+
+// metricsSink keeps ablation results alive.
+var metricsSink core.Metrics
+
+func runOnce(b *testing.B, mutate func(*core.Config)) core.Metrics {
+	b.Helper()
+	cfg := core.DefaultConfig(workload.TPCHQ6())
+	cfg.MeasureCycles = 80_000
+	cfg.WarmupCycles = 20_000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys.Run()
+}
+
+// BenchmarkAblationWriteDrain sweeps the write-drain watermarks — the
+// mechanism behind Figure 6's scheduler differences.
+func BenchmarkAblationWriteDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, hi := range []int{16, 32, 48} {
+			hi := hi
+			m := runOnce(b, func(c *core.Config) {
+				c.MC.WriteHi = hi
+				c.MC.WriteLo = hi / 4
+			})
+			metricsSink = m
+			b.ReportMetric(m.UserIPC, "ipc_hi"+itoa(hi))
+		}
+	}
+}
+
+// BenchmarkAblationQueueCapacity sweeps the read-queue capacity,
+// supporting §4.1.3's finding that short queues suffice.
+func BenchmarkAblationQueueCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cap := range []int{8, 16, 64} {
+			cap := cap
+			m := runOnce(b, func(c *core.Config) { c.MC.ReadQueueCap = cap })
+			metricsSink = m
+			b.ReportMetric(m.UserIPC, "ipc_rq"+itoa(cap))
+		}
+	}
+}
+
+// BenchmarkAblationMLP sweeps the per-core MLP limit on a
+// decision-support profile, supporting §4.1.2's latency-sensitivity
+// argument.
+func BenchmarkAblationMLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mlp := range []int{1, 3, 6} {
+			mlp := mlp
+			m := runOnce(b, func(c *core.Config) { c.Profile.MLPLimit = mlp })
+			metricsSink = m
+			b.ReportMetric(m.UserIPC, "ipc_mlp"+itoa(mlp))
+		}
+	}
+}
+
+// BenchmarkAblationBatchCap sweeps PAR-BS's batching cap (Table 3).
+func BenchmarkAblationBatchCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cap := range []int{1, 5, 16} {
+			cap := cap
+			m := runOnce(b, func(c *core.Config) {
+				c.Scheduler = sched.PARBS
+				c.SchedOpts.PARBS = sched.PARBSConfig{BatchingCap: cap}
+			})
+			metricsSink = m
+			b.ReportMetric(m.UserIPC, "ipc_cap"+itoa(cap))
+		}
+	}
+}
+
+// BenchmarkAblationATLASScanDepth sweeps the ATLAS scan window, the
+// modeling choice documented in DESIGN.md/EXPERIMENTS.md.
+func BenchmarkAblationATLASScanDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []int{1, 2, 8} {
+			depth := depth
+			cfg := core.DefaultConfig(workload.MapReduce())
+			cfg.MeasureCycles = 80_000
+			cfg.WarmupCycles = 20_000
+			cfg.Scheduler = sched.ATLAS
+			cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+				QuantumCycles: 8_000, Alpha: 0.875,
+				StarvationThreshold: 1_000, ScanDepth: depth,
+			}
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sys.Run()
+			metricsSink = m
+			b.ReportMetric(m.UserIPC, "ipc_scan"+itoa(depth))
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (cycles/op) on the baseline Data Serving system.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := core.DefaultConfig(workload.DataServing())
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.FunctionalWarmup(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkControllerTick measures one controller decision cycle under
+// a standing queue.
+func BenchmarkControllerTick(b *testing.B) {
+	cfg := core.DefaultConfig(workload.TPCHQ17())
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.FunctionalWarmup(0)
+	for i := 0; i < 50_000; i++ {
+		sys.Step()
+	}
+	ctl := sys.Controllers()[0]
+	_ = ctl
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+	_ = memctrl.DefaultConfig()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

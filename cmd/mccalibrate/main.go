@@ -1,0 +1,59 @@
+// Command mccalibrate runs every workload on the baseline system and
+// reports measured characterization metrics against their calibration
+// targets (paper Figures 2, 4, 7 and 8). Use it after changing
+// workload profiles or timing parameters to check the synthetic
+// streams still reproduce the paper's characterization.
+//
+// Usage:
+//
+//	mccalibrate [-cycles N] [-warm N] [-seed N] [-workload ACR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmc/internal/core"
+	"cloudmc/internal/workload"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 1_000_000, "measured cycles per run")
+	warm := flag.Uint64("warm", 100_000, "timed warmup cycles per run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	only := flag.String("workload", "", "run a single workload by acronym")
+	flag.Parse()
+
+	profiles := workload.All()
+	if *only != "" {
+		p, err := workload.ByAcronym(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	fmt.Printf("%-9s %7s %7s | %6s %6s | %6s %6s | %6s %6s | %6s %6s %6s\n",
+		"workload", "ipc", "lat",
+		"mpki", "tgt", "hit%", "tgt", "1acc%", "tgt", "bw%", "rq", "wq")
+	for _, p := range profiles {
+		cfg := core.DefaultConfig(p)
+		cfg.MeasureCycles = *cycles
+		cfg.WarmupCycles = *warm
+		cfg.Seed = *seed
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := sys.Run()
+		fmt.Printf("%-9s %7.3f %7.1f | %6.2f %6.2f | %6.1f %6.1f | %6.1f %6.1f | %6.1f %6.2f %6.2f\n",
+			p.Acronym, m.UserIPC, m.AvgReadLatency,
+			m.MPKI, p.TargetMPKI,
+			100*m.RowHitRate, 100*p.TargetRowHit,
+			100*m.SingleAccessFrac, 100*p.TargetSingleAccess,
+			100*m.BandwidthUtil, m.AvgReadQ, m.AvgWriteQ)
+	}
+}

@@ -1,0 +1,92 @@
+// Command mcsim runs a single simulation of the study's system and
+// prints its metrics — the low-level tool behind the figure harness.
+//
+// Usage:
+//
+//	mcsim [-workload DS] [-sched FR-FCFS] [-page OpenAdaptive]
+//	      [-channels 1] [-map RoRaBaCoCh] [-cycles N] [-warm N]
+//	      [-seed N] [-percore]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmc/internal/addrmap"
+	"cloudmc/internal/core"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "DS", "workload acronym (Table 1)")
+	schedName := flag.String("sched", "FR-FCFS", "scheduler: FR-FCFS, FCFS_Banks, PAR-BS, ATLAS, RL")
+	page := flag.String("page", "OpenAdaptive", "page policy: Open, Close, OpenAdaptive, CloseAdaptive, RBPP, ABPP")
+	channels := flag.Int("channels", 1, "memory channels (1, 2 or 4)")
+	mapping := flag.String("map", "RoRaBaCoCh", "address mapping scheme")
+	cycles := flag.Uint64("cycles", 1_000_000, "measured cycles")
+	warm := flag.Uint64("warm", 100_000, "timed warmup cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	perCore := flag.Bool("percore", false, "print per-core IPC")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prof, err := workload.ByAcronym(*wl)
+	if err != nil {
+		die(err)
+	}
+	kind, err := sched.ParseKind(*schedName)
+	if err != nil {
+		die(err)
+	}
+	scheme, err := addrmap.ParseScheme(*mapping)
+	if err != nil {
+		die(err)
+	}
+
+	cfg := core.DefaultConfig(prof)
+	cfg.Scheduler = kind
+	cfg.PagePolicy = *page
+	cfg.Channels = *channels
+	cfg.Mapping = scheme
+	cfg.MeasureCycles = *cycles
+	cfg.WarmupCycles = *warm
+	cfg.Seed = *seed
+	// Scale ATLAS's quantum to the measurement window (DESIGN.md).
+	cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+		QuantumCycles: *cycles / 10, Alpha: 0.875,
+		StarvationThreshold: *cycles / 80, ScanDepth: 1,
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		die(err)
+	}
+	m := sys.Run()
+
+	fmt.Printf("workload=%s sched=%s page=%s channels=%d map=%s cycles=%d\n",
+		prof.Acronym, kind, cfg.PagePolicy, cfg.Channels, scheme, m.Cycles)
+	fmt.Printf("  user IPC:          %.4f\n", m.UserIPC)
+	fmt.Printf("  mem latency:       %.1f cycles\n", m.AvgReadLatency)
+	fmt.Printf("  row hit rate:      %.1f%% (hits %d, misses %d, conflicts %d)\n",
+		100*m.RowHitRate, m.RowHits, m.RowMisses, m.RowConflicts)
+	fmt.Printf("  L2 MPKI:           %.2f\n", m.MPKI)
+	fmt.Printf("  read/write queue:  %.2f / %.2f\n", m.AvgReadQ, m.AvgWriteQ)
+	fmt.Printf("  bandwidth:         %.1f%%\n", 100*m.BandwidthUtil)
+	fmt.Printf("  1-access rows:     %.1f%%\n", 100*m.SingleAccessFrac)
+	fmt.Printf("  reads/writes:      %d / %d (forwarded %d)\n",
+		m.ReadsServed, m.WritesServed, m.ForwardedReads)
+	fmt.Printf("  activates:         %d (policy closes %d, conflict closes %d)\n",
+		m.Activates, m.PolicyCloses, m.ConflictCloses)
+	fmt.Printf("  fairness:          %.2f (min/max per-core IPC)\n", m.IPCDisparity())
+	if *perCore {
+		for i, v := range m.PerCoreIPC {
+			fmt.Printf("  core %2d IPC: %.4f\n", i, v)
+		}
+	}
+}

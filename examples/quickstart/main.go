@@ -1,0 +1,36 @@
+// Quickstart: simulate the paper's baseline system (Table 2) running
+// the Data Serving workload and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudmc/internal/core"
+	"cloudmc/internal/workload"
+)
+
+func main() {
+	// The baseline: 16 in-order cores, 32KB L1s, 4MB shared L2,
+	// FR-FCFS scheduling, open-adaptive paging, one DDR3-1600 channel.
+	cfg := core.DefaultConfig(workload.DataServing())
+	cfg.MeasureCycles = 500_000
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sys.Run()
+
+	fmt.Printf("workload:               %s\n", cfg.Profile.Name)
+	fmt.Printf("user IPC (aggregate):   %.3f\n", m.UserIPC)
+	fmt.Printf("avg memory latency:     %.1f core cycles\n", m.AvgReadLatency)
+	fmt.Printf("row-buffer hit rate:    %.1f%%\n", 100*m.RowHitRate)
+	fmt.Printf("L2 MPKI:                %.2f\n", m.MPKI)
+	fmt.Printf("read queue occupancy:   %.2f\n", m.AvgReadQ)
+	fmt.Printf("write queue occupancy:  %.2f\n", m.AvgWriteQ)
+	fmt.Printf("bandwidth utilization:  %.1f%%\n", 100*m.BandwidthUtil)
+	fmt.Printf("1-access activations:   %.1f%%\n", 100*m.SingleAccessFrac)
+}

@@ -1,0 +1,181 @@
+// Package addrmap maps physical addresses onto DRAM coordinates
+// (channel, rank, bank, row, column) under the interleaving schemes
+// studied in the paper (§4.3).
+//
+// Scheme names read most-significant field first. For example
+// RoRaBaCoCh places the channel-select bits at the bottom (just above
+// the block offset), so consecutive cache blocks alternate between
+// channels, while RoChRaBaCo places them at the top, so each channel
+// owns a contiguous half/quarter of the address space.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cloudmc/internal/dram"
+)
+
+// Scheme selects one of the studied address-interleaving schemes.
+type Scheme uint8
+
+const (
+	// RoRaBaCoCh is the paper's baseline: Row|Rank|Bank|Column|Channel,
+	// channel bits lowest (block-granularity channel interleaving).
+	RoRaBaCoCh Scheme = iota
+	// RoRaBaChCo: Row|Rank|Bank|Channel|Column — channel interleaving
+	// at row-buffer granularity, keeping sequential blocks in one row.
+	RoRaBaChCo
+	// RoRaChBaCo: Row|Rank|Channel|Bank|Column.
+	RoRaChBaCo
+	// RoChRaBaCo: Row|Channel|Rank|Bank|Column.
+	RoChRaBaCo
+)
+
+// Schemes lists every supported scheme in the order the paper
+// introduces them.
+var Schemes = []Scheme{RoRaBaCoCh, RoRaBaChCo, RoRaChBaCo, RoChRaBaCo}
+
+var schemeNames = map[Scheme]string{
+	RoRaBaCoCh: "RoRaBaCoCh",
+	RoRaBaChCo: "RoRaBaChCo",
+	RoRaChBaCo: "RoRaChBaCo",
+	RoChRaBaCo: "RoChRaBaCo",
+}
+
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// ParseScheme converts a scheme name (as printed by String) back to a
+// Scheme value.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("addrmap: unknown scheme %q", name)
+}
+
+// field identifies one DRAM coordinate.
+type field uint8
+
+const (
+	fieldChannel field = iota
+	fieldRank
+	fieldBank
+	fieldRow
+	fieldColumn
+)
+
+// order returns the scheme's fields from least-significant to
+// most-significant (above the block offset).
+func (s Scheme) order() [5]field {
+	switch s {
+	case RoRaBaCoCh:
+		return [5]field{fieldChannel, fieldColumn, fieldBank, fieldRank, fieldRow}
+	case RoRaBaChCo:
+		return [5]field{fieldColumn, fieldChannel, fieldBank, fieldRank, fieldRow}
+	case RoRaChBaCo:
+		return [5]field{fieldColumn, fieldBank, fieldChannel, fieldRank, fieldRow}
+	case RoChRaBaCo:
+		return [5]field{fieldColumn, fieldBank, fieldRank, fieldChannel, fieldRow}
+	default:
+		panic(fmt.Sprintf("addrmap: unknown scheme %d", uint8(s)))
+	}
+}
+
+// Mapper performs address decode/encode for one geometry and scheme.
+// The zero value is not usable; call New.
+type Mapper struct {
+	scheme  Scheme
+	geo     dram.Geometry
+	offBits uint
+	widths  [5]uint // bit width per field, indexed by field
+}
+
+// New builds a Mapper. The geometry must have power-of-two dimensions.
+func New(scheme Scheme, geo dram.Geometry) (*Mapper, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	log2 := func(v int) uint { return uint(bits.TrailingZeros64(uint64(v))) }
+	m := &Mapper{
+		scheme:  scheme,
+		geo:     geo,
+		offBits: log2(geo.BlockBytes),
+	}
+	m.widths[fieldChannel] = log2(geo.Channels)
+	m.widths[fieldRank] = log2(geo.Ranks)
+	m.widths[fieldBank] = log2(geo.Banks)
+	m.widths[fieldRow] = log2(geo.Rows)
+	m.widths[fieldColumn] = log2(geo.Columns)
+	return m, nil
+}
+
+// MustNew is New but panics on error; for use with known-good
+// geometries in tests and examples.
+func MustNew(scheme Scheme, geo dram.Geometry) *Mapper {
+	m, err := New(scheme, geo)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Scheme returns the mapper's interleaving scheme.
+func (m *Mapper) Scheme() Scheme { return m.scheme }
+
+// Geometry returns the mapper's geometry.
+func (m *Mapper) Geometry() dram.Geometry { return m.geo }
+
+// AddressBits returns the number of significant physical address bits.
+func (m *Mapper) AddressBits() uint {
+	total := m.offBits
+	for _, w := range m.widths {
+		total += w
+	}
+	return total
+}
+
+// Decode splits a physical byte address into DRAM coordinates.
+// Address bits above the modeled capacity are ignored (wrapped).
+func (m *Mapper) Decode(addr uint64) dram.Location {
+	a := addr >> m.offBits
+	var vals [5]int
+	for _, f := range m.scheme.order() {
+		w := m.widths[f]
+		vals[f] = int(a & ((1 << w) - 1))
+		a >>= w
+	}
+	return dram.Location{
+		Channel: vals[fieldChannel],
+		Rank:    vals[fieldRank],
+		Bank:    vals[fieldBank],
+		Row:     vals[fieldRow],
+		Column:  vals[fieldColumn],
+	}
+}
+
+// Encode is the inverse of Decode: it reconstructs the block-aligned
+// physical address of a location.
+func (m *Mapper) Encode(loc dram.Location) uint64 {
+	vals := [5]int{
+		fieldChannel: loc.Channel,
+		fieldRank:    loc.Rank,
+		fieldBank:    loc.Bank,
+		fieldRow:     loc.Row,
+		fieldColumn:  loc.Column,
+	}
+	var a uint64
+	order := m.scheme.order()
+	for i := len(order) - 1; i >= 0; i-- {
+		f := order[i]
+		a = a<<m.widths[f] | uint64(vals[f])
+	}
+	return a << m.offBits
+}

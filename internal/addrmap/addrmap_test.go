@@ -1,0 +1,148 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudmc/internal/dram"
+)
+
+func testGeo(channels int) dram.Geometry {
+	return dram.Geometry{
+		Channels: channels, Ranks: 2, Banks: 8,
+		Rows: 1 << 12, Columns: 128, BlockBytes: 64,
+	}
+}
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, s := range Schemes {
+		parsed, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if parsed != s {
+			t.Fatalf("round trip %v -> %v", s, parsed)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestDecodeEncodeRoundTripAllSchemes(t *testing.T) {
+	for _, scheme := range Schemes {
+		for _, ch := range []int{1, 2, 4} {
+			m := MustNew(scheme, testGeo(ch))
+			f := func(raw uint64) bool {
+				addr := (raw % (m.Geometry().TotalBytes())) &^ 63
+				l := m.Decode(addr)
+				return m.Encode(l) == addr
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatalf("%v channels=%d: %v", scheme, ch, err)
+			}
+		}
+	}
+}
+
+func TestDecodeRangesInBounds(t *testing.T) {
+	for _, scheme := range Schemes {
+		geo := testGeo(4)
+		m := MustNew(scheme, geo)
+		f := func(raw uint64) bool {
+			l := m.Decode(raw)
+			return l.Channel >= 0 && l.Channel < geo.Channels &&
+				l.Rank >= 0 && l.Rank < geo.Ranks &&
+				l.Bank >= 0 && l.Bank < geo.Banks &&
+				l.Row >= 0 && l.Row < geo.Rows &&
+				l.Column >= 0 && l.Column < geo.Columns
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestRoRaBaCoChInterleavesBlocksAcrossChannels(t *testing.T) {
+	m := MustNew(RoRaBaCoCh, testGeo(2))
+	a := m.Decode(0)
+	b := m.Decode(64)
+	if a.Channel == b.Channel {
+		t.Fatal("consecutive blocks should alternate channels under RoRaBaCoCh")
+	}
+	// And consecutive blocks on the same channel share a row.
+	c := m.Decode(128)
+	if a.Channel != c.Channel || !a.SameRow(c) {
+		t.Fatal("alternate blocks should share a row on the same channel")
+	}
+}
+
+func TestRoRaBaChCoKeepsRowsSequential(t *testing.T) {
+	m := MustNew(RoRaBaChCo, testGeo(2))
+	geo := m.Geometry()
+	rowBytes := uint64(geo.RowBufferBytes())
+	a := m.Decode(0)
+	b := m.Decode(rowBytes - 64)
+	if a.Channel != b.Channel || !a.SameRow(b) {
+		t.Fatal("a full row-buffer span should stay in one row under RoRaBaChCo")
+	}
+	c := m.Decode(rowBytes)
+	if a.Channel == c.Channel {
+		t.Fatal("next row-buffer span should switch channels under RoRaBaChCo")
+	}
+}
+
+func TestRoChRaBaCoSplitsAddressSpaceByChannel(t *testing.T) {
+	geo := testGeo(2)
+	m := MustNew(RoChRaBaCo, geo)
+	// Below the channel boundary everything maps to channel 0.
+	span := uint64(geo.Ranks*geo.Banks*geo.Columns*geo.BlockBytes) - 64
+	if m.Decode(0).Channel != m.Decode(span).Channel {
+		t.Fatal("addresses within one rank/bank/column span should share a channel")
+	}
+}
+
+func TestColumnBitsAreLowestAfterOffset(t *testing.T) {
+	// For every scheme except RoRaBaCoCh, consecutive blocks stay in
+	// the same row (column bits lowest).
+	for _, scheme := range []Scheme{RoRaBaChCo, RoRaChBaCo, RoChRaBaCo} {
+		m := MustNew(scheme, testGeo(2))
+		a, b := m.Decode(0), m.Decode(64)
+		if !a.SameRow(b) {
+			t.Errorf("%v: consecutive blocks land in different rows", scheme)
+		}
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	m := MustNew(RoRaBaCoCh, testGeo(2))
+	// 1 ch bit + 1 rank + 3 bank + 12 row + 7 col + 6 offset = 30 bits.
+	if got := m.AddressBits(); got != 30 {
+		t.Fatalf("AddressBits = %d, want 30", got)
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	geo := testGeo(1)
+	geo.Columns = 100
+	if _, err := New(RoRaBaCoCh, geo); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestDistinctAddressesDistinctLocations(t *testing.T) {
+	// Decode must be injective over the modeled capacity: two distinct
+	// block addresses never collide on the same location.
+	for _, scheme := range Schemes {
+		m := MustNew(scheme, testGeo(2))
+		seen := make(map[dram.Location]uint64)
+		for i := 0; i < 2000; i++ {
+			addr := uint64(i) * 64
+			l := m.Decode(addr)
+			if prev, dup := seen[l]; dup {
+				t.Fatalf("%v: %#x and %#x both map to %v", scheme, prev, addr, l)
+			}
+			seen[l] = addr
+		}
+	}
+}

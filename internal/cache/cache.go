@@ -1,0 +1,244 @@
+// Package cache implements set-associative, write-back/write-allocate
+// caches with true-LRU replacement, used for the per-core L1s and the
+// shared L2 of the simulated pod (paper Table 2).
+//
+// The cache is a tag array plus replacement state; miss handling
+// (MSHRs, fills, writeback routing) lives in the system model
+// (package core), which decides *when* blocks are installed.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config sizes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// BlockBytes is the line size.
+	BlockBytes int
+}
+
+// Validate reports an error for a non-constructible configuration.
+func (c Config) Validate() error {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	if !pow2(c.BlockBytes) {
+		return fmt.Errorf("cache: BlockBytes %d must be a positive power of two", c.BlockBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: Ways %d must be positive", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.BlockBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: SizeBytes %d must be a positive multiple of BlockBytes*Ways", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Ways)
+	if !pow2(sets) {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Ways) }
+
+// Stats counts cache events.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	DirtyEvicts   uint64
+	Installs      uint64
+	WriteHits     uint64
+	WriteMisses   uint64
+	Invalidations uint64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+type line struct {
+	tag   uint64
+	used  uint64 // LRU stamp; larger = more recent
+	valid bool
+	dirty bool
+}
+
+// Victim describes a block displaced by Install.
+type Victim struct {
+	// Addr is the block-aligned address of the displaced line.
+	Addr uint64
+	// Dirty reports the line needed writing back.
+	Dirty bool
+	// Valid reports whether anything was displaced at all.
+	Valid bool
+}
+
+// Cache is one set-associative cache.
+type Cache struct {
+	cfg       Config
+	lines     []line // sets * ways, flat
+	setBits   uint
+	blockBits uint
+	ways      int
+	stamp     uint64
+	Stats     Stats
+}
+
+// New builds a cache; it panics on an invalid configuration (cache
+// geometry is fixed by the study configuration, so this is a
+// programming error, not an input error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:       cfg,
+		lines:     make([]line, sets*cfg.Ways),
+		setBits:   uint(bits.TrailingZeros(uint(sets))),
+		blockBits: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		ways:      cfg.Ways,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAlign masks addr down to its block base.
+func (c *Cache) BlockAlign(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	a := addr >> c.blockBits
+	return int(a & ((1 << c.setBits) - 1)), a >> c.setBits
+}
+
+func (c *Cache) set(i int) []line {
+	return c.lines[i*c.ways : (i+1)*c.ways]
+}
+
+// Access looks up addr, updating LRU state on a hit. For write
+// accesses a hit marks the line dirty. It returns whether the access
+// hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			c.stamp++
+			l.used = c.stamp
+			if write {
+				l.dirty = true
+				c.Stats.WriteHits++
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	if write {
+		c.Stats.WriteMisses++
+	}
+	return false
+}
+
+// Contains probes for addr without touching LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty probes whether addr is present and dirty, without side
+// effects.
+func (c *Cache) IsDirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			return l.dirty
+		}
+	}
+	return false
+}
+
+// Install inserts addr (block-aligned internally), evicting the LRU
+// line of its set if needed, and returns the displaced victim. If the
+// block is already present, Install refreshes LRU and ORs in dirty
+// without evicting.
+func (c *Cache) Install(addr uint64, dirty bool) Victim {
+	set, tag := c.index(addr)
+	lines := c.set(set)
+	c.stamp++
+	// Already present: refresh.
+	for i := range lines {
+		l := &lines[i]
+		if l.valid && l.tag == tag {
+			l.used = c.stamp
+			l.dirty = l.dirty || dirty
+			return Victim{}
+		}
+	}
+	c.Stats.Installs++
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].used < lines[victim].used {
+			victim = i
+		}
+	}
+	var out Victim
+	v := &lines[victim]
+	if v.valid {
+		out = Victim{
+			Addr:  (v.tag<<c.setBits | uint64(set)) << c.blockBits,
+			Dirty: v.dirty,
+			Valid: true,
+		}
+		c.Stats.Evictions++
+		if v.dirty {
+			c.Stats.DirtyEvicts++
+		}
+	}
+	*v = line{tag: tag, used: c.stamp, valid: true, dirty: dirty}
+	return out
+}
+
+// Invalidate removes addr if present, returning whether the line was
+// dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			c.Stats.Invalidations++
+			l.valid = false
+			return l.dirty, true
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines (for tests and warmup
+// diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

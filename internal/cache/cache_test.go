@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return New(Config{SizeBytes: 1024, Ways: 2, BlockBytes: 64}) // 8 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 32 << 10, Ways: 2, BlockBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, Ways: 2, BlockBytes: 60},       // block not pow2
+		{SizeBytes: 1000, Ways: 2, BlockBytes: 64},       // size not multiple
+		{SizeBytes: 1024, Ways: 0, BlockBytes: 64},       // zero ways
+		{SizeBytes: 64 * 2 * 3, Ways: 2, BlockBytes: 64}, // 3 sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x1000, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Install(0x1000, false)
+	if !c.Access(0x1000, false) {
+		t.Fatal("installed block missed")
+	}
+	if !c.Access(0x1020, false) {
+		t.Fatal("same-block offset missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2-way: set index bits 6..8
+	setStride := uint64(64 * 8)
+	a, b, d := uint64(0), setStride*8, setStride*16 // all set 0
+	c.Install(a, false)
+	c.Install(b, false)
+	c.Access(a, false) // a is now MRU
+	v := c.Install(d, false)
+	if !v.Valid || v.Addr != b {
+		t.Fatalf("victim = %+v, want %#x (LRU)", v, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := small()
+	setStride := uint64(64 * 8)
+	c.Install(0, false)
+	c.Access(0, true) // dirty it
+	c.Install(setStride*8, false)
+	v := c.Install(setStride*16, false)
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Fatalf("dirty victim = %+v", v)
+	}
+	if c.Stats.DirtyEvicts != 1 {
+		t.Fatalf("dirty evicts = %d", c.Stats.DirtyEvicts)
+	}
+}
+
+func TestInstallExistingMergesDirty(t *testing.T) {
+	c := small()
+	c.Install(0x40, false)
+	v := c.Install(0x40, true)
+	if v.Valid {
+		t.Fatal("reinstall evicted something")
+	}
+	if !c.IsDirty(0x40) {
+		t.Fatal("dirty bit lost on merge")
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small()
+	c.Install(0x80, false)
+	if c.IsDirty(0x80) {
+		t.Fatal("clean line reported dirty")
+	}
+	c.Access(0x80, true)
+	if !c.IsDirty(0x80) {
+		t.Fatal("write hit left line clean")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Install(0xc0, true)
+	dirty, present := c.Invalidate(0xc0)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v, %v)", dirty, present)
+	}
+	if c.Contains(0xc0) {
+		t.Fatal("line still present")
+	}
+	if _, present := c.Invalidate(0xc0); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestContainsHasNoSideEffects(t *testing.T) {
+	c := small()
+	c.Install(0, false)
+	h0 := c.Stats.Hits
+	if !c.Contains(0) {
+		t.Fatal("contains missed")
+	}
+	if c.Stats.Hits != h0 {
+		t.Fatal("Contains changed statistics")
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := small()
+		for _, a := range addrs {
+			c.Install(uint64(a), a%3 == 0)
+		}
+		return c.Occupancy() <= 16 // 8 sets x 2 ways
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInstallThenPresent checks that after installing any
+// block it is present, and evicted victims are distinct from the
+// installed block.
+func TestPropertyInstallThenPresent(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 4, BlockBytes: 64})
+	f := func(raw uint32) bool {
+		addr := uint64(raw) &^ 63
+		v := c.Install(addr, false)
+		if v.Valid && v.Addr == addr {
+			return false // evicted the block we installed
+		}
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDirtyAccounting: a block is reported dirty iff it was
+// installed dirty or written since install.
+func TestPropertyDirtyAccounting(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 16, Ways: 8, BlockBytes: 64})
+	dirty := make(map[uint64]bool)
+	f := func(raw uint16, write bool) bool {
+		addr := uint64(raw) &^ 63
+		if c.Contains(addr) {
+			c.Access(addr, write)
+			if write {
+				dirty[addr] = true
+			}
+		} else {
+			v := c.Install(addr, write)
+			if v.Valid {
+				delete(dirty, v.Addr)
+			}
+			dirty[addr] = write
+		}
+		return c.IsDirty(addr) == dirty[addr]
+	}
+	// 64KB cache with 16-bit block addresses: no capacity evictions of
+	// tracked state beyond what the victim callback reports.
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := small()
+	c.Access(0, false)     // miss
+	c.Install(0, false)    // install
+	c.Access(0, false)     // hit
+	c.Access(64*8*8, true) // write miss
+	if c.Stats.Misses != 2 || c.Stats.Hits != 1 || c.Stats.WriteMisses != 1 || c.Stats.Installs != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	c.Stats.Reset()
+	if c.Stats.Misses != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBlockAlign(t *testing.T) {
+	c := small()
+	if c.BlockAlign(0x12345) != 0x12340 {
+		t.Fatalf("align = %#x", c.BlockAlign(0x12345))
+	}
+}

@@ -1,0 +1,161 @@
+// Package core assembles the full simulated system of the study: the
+// 16-core in-order pod of Lotfi-Kamran et al. with two cache levels, a
+// crossbar, and one memory controller per DDR3 channel (paper Table
+// 2). It is the package experiments drive: build a Config, run it,
+// read the Metrics the paper's figures plot.
+package core
+
+import (
+	"fmt"
+
+	"cloudmc/internal/addrmap"
+	"cloudmc/internal/cache"
+	"cloudmc/internal/dram"
+	"cloudmc/internal/memctrl"
+	"cloudmc/internal/pagepolicy"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/workload"
+)
+
+// Config describes one simulated system + workload combination.
+type Config struct {
+	// Profile is the workload to run.
+	Profile workload.Profile
+
+	// Scheduler selects the memory scheduling algorithm.
+	Scheduler sched.Kind
+	// SchedOpts overrides algorithm parameters (zero sub-configs use
+	// the paper's Table 3 values). Cores and Seed are filled from the
+	// profile and Config automatically.
+	SchedOpts sched.Opts
+	// PagePolicy names the page-management policy (see
+	// pagepolicy.ByName). The RL scheduler owns precharge decisions,
+	// so it always runs with the static open policy regardless.
+	PagePolicy string
+	// Mapping is the address-interleaving scheme.
+	Mapping addrmap.Scheme
+	// Channels is the memory channel count (1, 2 or 4 in the study).
+	Channels int
+
+	// Geometry is the 1-channel DRAM organization; Channels is applied
+	// with Geometry.WithChannels, holding capacity constant.
+	Geometry dram.Geometry
+	// BusTiming is the DRAM timing in bus cycles; it is converted to
+	// core cycles with ClockNum/ClockDen (2GHz cores on an 800MHz bus:
+	// 5/2).
+	BusTiming          dram.Timing
+	ClockNum, ClockDen int
+
+	// L1 and L2 size the caches; L2HitLatency is the core stall for an
+	// L1-miss/L2-hit round trip (crossbar + bank access + crossbar).
+	L1           cache.Config
+	L2           cache.Config
+	L2HitLatency int
+	// MemPathLatency is the fixed on-chip latency added to every LLC
+	// miss on top of the controller queueing/service time (miss
+	// handling plus crossbar traversal).
+	MemPathLatency int
+
+	// MC configures each per-channel controller.
+	MC memctrl.Config
+	// MSHRCap bounds outstanding LLC misses system-wide.
+	MSHRCap int
+	// StoreBufferCap is the per-core store buffer depth.
+	StoreBufferCap int
+
+	// WarmupInstrPerCore is the functional (untimed) cache-warming
+	// phase: each core streams this many instructions through the
+	// hierarchy before timed simulation, the equivalent of the paper's
+	// one-billion-instruction SimFlex warmup (§3.2). Zero selects an
+	// automatic value sized to fill the L2 with the profile's miss
+	// stream.
+	WarmupInstrPerCore uint64
+	// WarmupCycles of timed simulation run before statistics reset
+	// (settles queues and row buffers); MeasureCycles are then
+	// simulated and reported.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+
+	// Seed makes runs reproducible; the same Config and Seed give
+	// bit-identical Metrics.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Table 2 baseline system for a
+// workload: 16 in-order cores at 2GHz, 32KB 2-way L1s, a 4MB 16-way
+// shared L2, FR-FCFS scheduling, the open-adaptive page policy, one
+// DDR3-1600 channel and RoRaBaCoCh mapping.
+func DefaultConfig(p workload.Profile) Config {
+	return Config{
+		Profile:        p,
+		Scheduler:      sched.FRFCFS,
+		PagePolicy:     "OpenAdaptive",
+		Mapping:        addrmap.RoRaBaCoCh,
+		Channels:       1,
+		Geometry:       dram.DefaultGeometry(),
+		BusTiming:      dram.DDR3_1600(),
+		ClockNum:       5,
+		ClockDen:       2,
+		L1:             cache.Config{SizeBytes: 32 << 10, Ways: 2, BlockBytes: 64},
+		L2:             cache.Config{SizeBytes: 4 << 20, Ways: 16, BlockBytes: 64},
+		L2HitLatency:   18, // 4 crossbar + 10 bank + 4 crossbar
+		MemPathLatency: 12,
+		MC:             memctrl.DefaultConfig(),
+		MSHRCap:        48,
+		StoreBufferCap: 12,
+		WarmupCycles:   100_000,
+		MeasureCycles:  1_000_000,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first configuration error found.
+func (c Config) Validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if _, ok := pagepolicy.ByName(c.PagePolicy); !ok {
+		return fmt.Errorf("core: unknown page policy %q", c.PagePolicy)
+	}
+	if c.Channels <= 0 || c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("core: Channels %d must be a positive power of two", c.Channels)
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.BusTiming.Validate(); err != nil {
+		return err
+	}
+	if c.ClockNum <= 0 || c.ClockDen <= 0 {
+		return fmt.Errorf("core: invalid clock ratio %d/%d", c.ClockNum, c.ClockDen)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.L2HitLatency < 1 || c.MemPathLatency < 0 {
+		return fmt.Errorf("core: invalid hierarchy latencies")
+	}
+	if err := c.MC.Validate(); err != nil {
+		return err
+	}
+	if c.MSHRCap <= 0 || c.StoreBufferCap <= 0 {
+		return fmt.Errorf("core: MSHRCap and StoreBufferCap must be positive")
+	}
+	if c.MeasureCycles == 0 {
+		return fmt.Errorf("core: MeasureCycles must be positive")
+	}
+	return nil
+}
+
+// coreTiming returns the DRAM timing converted to core clock cycles.
+func (c Config) coreTiming() dram.Timing {
+	return c.BusTiming.ScaleFrom(c.ClockNum, c.ClockDen)
+}
+
+// channelGeometry returns the per-run geometry with Channels applied.
+func (c Config) channelGeometry() dram.Geometry {
+	return c.Geometry.WithChannels(c.Channels)
+}

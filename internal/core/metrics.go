@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics are the measurements the paper's figures plot, collected
+// over one run's measurement window.
+type Metrics struct {
+	// Cycles is the measurement window length in core cycles.
+	Cycles uint64
+	// Retired is the total user instructions committed.
+	Retired uint64
+	// UserIPC is Retired / Cycles, the paper's throughput proxy
+	// (§3.2); it aggregates across cores.
+	UserIPC float64
+	// PerCoreIPC is each core's committed instructions per cycle;
+	// the ATLAS analysis (§4.1.1) inspects its disparity.
+	PerCoreIPC []float64
+
+	// AvgReadLatency is the mean demand-read latency at the memory
+	// controller, in core cycles (Figure 3 normalizes this).
+	AvgReadLatency float64
+	// RowHitRate is hits/(hits+misses+conflicts) over all column
+	// accesses (Figure 2).
+	RowHitRate float64
+	// MPKI is primary LLC demand misses per kilo instruction
+	// (Figure 4).
+	MPKI float64
+	// AvgReadQ and AvgWriteQ are time-weighted queue occupancies,
+	// averaged over controllers (Figures 5, 6).
+	AvgReadQ  float64
+	AvgWriteQ float64
+	// BandwidthUtil is the fraction of data-bus cycles carrying data,
+	// averaged over channels (Figure 7).
+	BandwidthUtil float64
+	// SingleAccessFrac is the fraction of row activations that served
+	// exactly one access (Figure 8).
+	SingleAccessFrac float64
+
+	// Raw controller/DRAM counters for deeper analysis.
+	ReadsServed    uint64
+	WritesServed   uint64
+	Activates      uint64
+	PolicyCloses   uint64
+	ConflictCloses uint64
+	ForwardedReads uint64
+	RowHits        uint64
+	RowMisses      uint64
+	RowConflicts   uint64
+	DemandMisses   uint64
+}
+
+// IPCDisparity returns min/max per-core IPC, the fairness signal the
+// paper uses when explaining ATLAS's losses. Returns 1 when no core
+// retired anything.
+func (m Metrics) IPCDisparity() float64 {
+	var min, max float64
+	first := true
+	for _, v := range m.PerCoreIPC {
+		if first {
+			min, max = v, v
+			first = false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return min / max
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ipc=%.4f lat=%.1f hit=%.3f mpki=%.2f rq=%.2f wq=%.2f bw=%.3f 1acc=%.3f",
+		m.UserIPC, m.AvgReadLatency, m.RowHitRate, m.MPKI,
+		m.AvgReadQ, m.AvgWriteQ, m.BandwidthUtil, m.SingleAccessFrac)
+	return sb.String()
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+func TestMetricsStringContainsHeadlines(t *testing.T) {
+	m := Metrics{UserIPC: 1.5, AvgReadLatency: 120, RowHitRate: 0.3, MPKI: 5}
+	s := m.String()
+	for _, want := range []string{"ipc=1.5", "lat=120", "hit=0.300", "mpki=5.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFunctionalWarmupFillsCaches(t *testing.T) {
+	cfg := DefaultConfig(workload.TPCHQ6())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.FunctionalWarmup(20_000)
+	lines := cfg.L2.SizeBytes / cfg.L2.BlockBytes
+	if occ := sys.l2.Occupancy(); occ < lines*9/10 {
+		t.Fatalf("L2 occupancy %d of %d after warmup", occ, lines)
+	}
+	// L1s must have content too.
+	if sys.l1[0].Occupancy() == 0 {
+		t.Fatal("L1 empty after functional warmup")
+	}
+}
+
+func TestWarmupIsUntimed(t *testing.T) {
+	cfg := DefaultConfig(workload.DataServing())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.FunctionalWarmup(10_000)
+	if sys.cycle != 0 {
+		t.Fatalf("functional warmup advanced the clock to %d", sys.cycle)
+	}
+	for _, ctl := range sys.Controllers() {
+		if ctl.Pending() != 0 {
+			t.Fatal("functional warmup queued DRAM work")
+		}
+	}
+}
+
+func TestStepAdvancesClock(t *testing.T) {
+	cfg := DefaultConfig(workload.WebSearch())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sys.Step()
+	}
+	if sys.cycle != 100 {
+		t.Fatalf("cycle = %d, want 100", sys.cycle)
+	}
+}
+
+func TestWorkloadFootprintMustFitMemory(t *testing.T) {
+	p := workload.DataServing()
+	p.ColdBytes = 1 << 40 // 1TB cold region in a 32GB system
+	cfg := DefaultConfig(p)
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("oversized footprint accepted")
+	}
+}
+
+func TestMSHRMergingAvoidsDuplicateReads(t *testing.T) {
+	// Two cores loading the same block must produce one DRAM read.
+	cfg := DefaultConfig(workload.DataServing())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x4000_0000)
+	r1 := sys.Load(0, 0, addr)
+	r2 := sys.Load(0, 1, addr)
+	if !r1.Pending || !r2.Pending {
+		t.Fatalf("expected both pending, got %+v %+v", r1, r2)
+	}
+	if got := len(sys.mshr); got != 1 {
+		t.Fatalf("MSHR entries = %d, want 1 (merged)", got)
+	}
+	reads, _ := sys.Controllers()[0].QueueLens()
+	if reads != 1 {
+		t.Fatalf("queued reads = %d, want 1", reads)
+	}
+}
+
+func TestMSHRCapBackpressure(t *testing.T) {
+	cfg := DefaultConfig(workload.DataServing())
+	cfg.MSHRCap = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Load(0, 0, 0x4000_0000)
+	sys.Load(0, 1, 0x4001_0000)
+	r := sys.Load(0, 2, 0x4002_0000)
+	if !r.Rejected {
+		t.Fatal("third miss accepted beyond MSHR capacity")
+	}
+}
+
+func TestStoreMissAllocatesMSHRAsStore(t *testing.T) {
+	// Calling the port directly (outside a core's Tick) must register
+	// the requester as a store waiter on the MSHR entry.
+	cfg := DefaultConfig(workload.DataServing())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x4800_0000)
+	r := sys.Store(0, 3, addr)
+	if !r.Pending {
+		t.Fatalf("store miss not pending: %+v", r)
+	}
+	e, ok := sys.mshr[addr]
+	if !ok {
+		t.Fatal("no MSHR entry allocated")
+	}
+	if len(e.stores) != 1 || e.stores[0] != 3 || len(e.loads) != 0 {
+		t.Fatalf("waiters = loads %v stores %v, want store waiter core 3", e.loads, e.stores)
+	}
+}
+
+func TestStoreFillDirtiesL1ThroughCorePath(t *testing.T) {
+	// Through the real core path (store buffered by the core), a store
+	// miss fill must install the block dirty in the issuing core's L1.
+	cfg := DefaultConfig(workload.TPCHQ6()) // store-carrying workload
+	cfg.WarmupCycles = 1
+	cfg.MeasureCycles = 30_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	dirty := 0
+	for _, l1 := range sys.l1 {
+		for addr := uint64(0); addr < 1<<20; addr += 64 {
+			if l1.IsDirty(addr) {
+				dirty++
+			}
+		}
+	}
+	// At least some hot-region lines must be dirty from store hits and
+	// store-miss fills.
+	if dirty == 0 {
+		t.Fatal("no dirty L1 lines after a store-carrying run")
+	}
+}
+
+func TestL1HitAfterFill(t *testing.T) {
+	cfg := DefaultConfig(workload.DataServing())
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x4000_0040)
+	sys.Load(0, 0, addr)
+	for i := 0; i < 2000 && len(sys.mshr) > 0; i++ {
+		sys.Step()
+	}
+	r := sys.Load(sys.cycle, 0, addr)
+	if r.Pending || r.Rejected || r.ExtraStall != 0 {
+		t.Fatalf("expected L1 hit after fill, got %+v", r)
+	}
+}

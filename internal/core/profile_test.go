@@ -1,0 +1,23 @@
+package core
+
+import (
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+// BenchmarkSystemStep measures raw simulation throughput
+// (cycles/second) on the Data Serving baseline.
+func BenchmarkSystemStep(b *testing.B) {
+	cfg := DefaultConfig(workload.DataServing())
+	cfg.WarmupInstrPerCore = 100_000
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.FunctionalWarmup(cfg.WarmupInstrPerCore)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}

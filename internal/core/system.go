@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudmc/internal/addrmap"
+	"cloudmc/internal/cache"
+	"cloudmc/internal/cpu"
+	"cloudmc/internal/dram"
+	"cloudmc/internal/memctrl"
+	"cloudmc/internal/pagepolicy"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/workload"
+)
+
+// mshrEntry tracks one outstanding LLC miss and its merged waiters.
+type mshrEntry struct {
+	addr   uint64
+	loads  []int // cores blocked on a load of this block
+	stores []int // cores with a buffered store to this block
+}
+
+// pendingWrite is a writeback waiting for write-queue space.
+type pendingWrite struct {
+	addr uint64
+	core int
+}
+
+// pendingIO is a DMA request waiting for queue space.
+type pendingIO struct {
+	addr  uint64
+	write bool
+}
+
+// delayedFill is a completed DRAM read traversing the on-chip return
+// path (crossbar + miss handling), applied at cycle `at`.
+type delayedFill struct {
+	at uint64
+	e  *mshrEntry
+}
+
+// primeRNG is a tiny xorshift generator for cache priming, independent
+// of the workload generators so priming does not perturb their
+// streams.
+type primeRNG struct{ s uint64 }
+
+func (r *primeRNG) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *primeRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func newPrimeRNG(seed uint64) primeRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return primeRNG{s: seed ^ 0x6c62272e07bb0142}
+}
+
+// System is one assembled simulation: cores, caches, controllers, and
+// the DRAM device models, advanced in lockstep by Run.
+type System struct {
+	cfg    Config
+	cores  []*cpu.Core
+	gens   []*workload.Generator
+	l1     []*cache.Cache
+	l2     *cache.Cache
+	mapper *addrmap.Mapper
+	ctrls  []*memctrl.Controller
+	io     *workload.IOAgent
+	warmed bool
+
+	mshr      map[uint64]*mshrEntry
+	wbq       []pendingWrite
+	ioq       []pendingIO
+	fillq     []delayedFill
+	blockMask uint64
+
+	// measurement
+	demandMisses uint64
+	cycle        uint64
+}
+
+// NewSystem builds a System from a validated Config.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geo := cfg.channelGeometry()
+	tim := cfg.coreTiming()
+	mapper, err := addrmap.New(cfg.Mapping, geo)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.SchedOpts
+	opts.Cores = cfg.Profile.Cores
+	opts.Seed = cfg.Seed
+	factory := sched.NewFactoryOpts(cfg.Scheduler, opts)
+
+	s := &System{
+		cfg:       cfg,
+		mapper:    mapper,
+		mshr:      make(map[uint64]*mshrEntry),
+		l2:        cache.New(cfg.L2),
+		blockMask: ^(uint64(cfg.L1.BlockBytes) - 1),
+	}
+
+	for chID := 0; chID < geo.Channels; chID++ {
+		chann := dram.NewChannel(chID, geo, tim)
+		page := pagePolicyFor(cfg)
+		ctl, err := memctrl.New(cfg.MC, chann, factory(chID), page)
+		if err != nil {
+			return nil, err
+		}
+		s.ctrls = append(s.ctrls, ctl)
+	}
+
+	layout := workload.NewLayout(cfg.Profile)
+	if layout.Limit > geo.TotalBytes() {
+		return nil, fmt.Errorf("core: workload footprint %d exceeds memory capacity %d", layout.Limit, geo.TotalBytes())
+	}
+	for i := 0; i < cfg.Profile.Cores; i++ {
+		gen := workload.NewGenerator(cfg.Profile, layout, i, cfg.Seed)
+		s.gens = append(s.gens, gen)
+		s.cores = append(s.cores, cpu.New(i, cpu.Config{
+			MLPLimit:       cfg.Profile.MLPLimit,
+			StoreBufferCap: cfg.StoreBufferCap,
+			BaseCPI:        cfg.Profile.BaseCPI,
+		}, gen))
+		s.l1 = append(s.l1, cache.New(cfg.L1))
+	}
+	s.io = workload.NewIOAgent(cfg.Profile.IO, layout, geo.Channels, cfg.Seed)
+	return s, nil
+}
+
+// pagePolicyFor returns the configured page policy; the RL scheduler
+// owns precharge decisions, so it runs over the static open policy.
+func pagePolicyFor(cfg Config) pagepolicy.Policy {
+	if cfg.Scheduler == sched.RL {
+		return pagepolicy.NewOpen()
+	}
+	p, _ := pagepolicy.ByName(cfg.PagePolicy)
+	return p
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Controllers exposes the per-channel controllers (tests use this).
+func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// Load implements cpu.Port.
+func (s *System) Load(now uint64, core int, addr uint64) cpu.AccessResult {
+	addr &= s.blockMask
+	if s.l1[core].Access(addr, false) {
+		return cpu.AccessResult{}
+	}
+	if s.l2.Access(addr, false) {
+		s.installL1(now, core, addr, false)
+		return cpu.AccessResult{ExtraStall: s.cfg.L2HitLatency}
+	}
+	return s.miss(now, core, addr, false)
+}
+
+// Store implements cpu.Port.
+func (s *System) Store(now uint64, core int, addr uint64) cpu.AccessResult {
+	addr &= s.blockMask
+	if s.l1[core].Access(addr, true) {
+		return cpu.AccessResult{}
+	}
+	if s.l2.Access(addr, false) {
+		// Write-allocate into L1; the store buffer hides the L2 trip.
+		s.installL1(now, core, addr, true)
+		return cpu.AccessResult{}
+	}
+	return s.miss(now, core, addr, true)
+}
+
+// miss handles an LLC miss for a load or store.
+func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessResult {
+	if e, ok := s.mshr[addr]; ok {
+		// Secondary miss: merge into the outstanding fill.
+		if store {
+			e.stores = append(e.stores, core)
+		} else {
+			e.loads = append(e.loads, core)
+		}
+		return cpu.AccessResult{Pending: true}
+	}
+	if len(s.mshr) >= s.cfg.MSHRCap {
+		return cpu.AccessResult{Rejected: true}
+	}
+	loc := s.mapper.Decode(addr)
+	kind := memctrl.ReadDemand
+	if store {
+		kind = memctrl.ReadStore
+	}
+	e := &mshrEntry{addr: addr}
+	if store {
+		e.stores = append(e.stores, core)
+	} else {
+		e.loads = append(e.loads, core)
+	}
+	// The fixed on-chip path latency is charged by queueing the fill
+	// for MemPathLatency cycles after the data leaves the controller.
+	ok := s.ctrls[loc.Channel].EnqueueRead(now, core, addr, loc, kind, func(at uint64) {
+		s.scheduleFill(at+uint64(s.cfg.MemPathLatency), e)
+	})
+	if !ok {
+		return cpu.AccessResult{Rejected: true}
+	}
+	s.mshr[addr] = e
+	s.demandMisses++
+	return cpu.AccessResult{Pending: true}
+}
+
+// scheduleFill queues a completed read for delivery at cycle `at`
+// (insertion sort; the queue is bounded by the MSHR capacity).
+func (s *System) scheduleFill(at uint64, e *mshrEntry) {
+	i := len(s.fillq)
+	s.fillq = append(s.fillq, delayedFill{})
+	for i > 0 && s.fillq[i-1].at > at {
+		s.fillq[i] = s.fillq[i-1]
+		i--
+	}
+	s.fillq[i] = delayedFill{at: at, e: e}
+}
+
+// deliverFills applies all fills due by `now`.
+func (s *System) deliverFills(now uint64) {
+	for len(s.fillq) > 0 && s.fillq[0].at <= now {
+		e := s.fillq[0].e
+		s.fillq = s.fillq[1:]
+		s.fill(now, e)
+	}
+}
+
+// fill completes an LLC miss: installs the block, routes the L2
+// victim's writeback, and wakes the merged waiters.
+func (s *System) fill(now uint64, e *mshrEntry) {
+	delete(s.mshr, e.addr)
+	victim := s.l2.Install(e.addr, false)
+	if victim.Valid && victim.Dirty {
+		s.wbq = append(s.wbq, pendingWrite{addr: victim.Addr, core: -1})
+	}
+	for _, c := range e.loads {
+		s.installL1(now, c, e.addr, false)
+		s.cores[c].LoadReturned(now)
+	}
+	for _, c := range e.stores {
+		s.installL1(now, c, e.addr, true)
+		s.cores[c].StoreDrained(now)
+	}
+}
+
+// installL1 puts a block in a core's L1, pushing any dirty victim down
+// into the L2 (and the L2's own victim toward memory).
+func (s *System) installL1(now uint64, core int, addr uint64, dirty bool) {
+	victim := s.l1[core].Install(addr, dirty)
+	if !victim.Valid || !victim.Dirty {
+		return
+	}
+	if s.l2.Access(victim.Addr, true) {
+		return // merged into the L2 copy
+	}
+	// Non-inclusive corner: the L2 no longer holds the line; allocate
+	// it dirty (the victim carries the whole block).
+	l2v := s.l2.Install(victim.Addr, true)
+	if l2v.Valid && l2v.Dirty {
+		s.wbq = append(s.wbq, pendingWrite{addr: l2v.Addr, core: core})
+	}
+}
+
+// drainWritebacks pushes pending writebacks into the controllers,
+// preserving order, stopping at the first rejection.
+func (s *System) drainWritebacks(now uint64) {
+	for len(s.wbq) > 0 {
+		wb := s.wbq[0]
+		loc := s.mapper.Decode(wb.addr)
+		if !s.ctrls[loc.Channel].EnqueueWrite(now, wb.core, wb.addr, loc, nil) {
+			return
+		}
+		s.wbq = s.wbq[1:]
+	}
+}
+
+// tickIO injects DMA traffic, retrying rejected requests in order.
+func (s *System) tickIO(now uint64) {
+	if s.io == nil {
+		return
+	}
+	if addr, ok, write := s.io.Next(); ok {
+		s.ioq = append(s.ioq, pendingIO{addr: addr, write: write})
+	}
+	for len(s.ioq) > 0 {
+		req := s.ioq[0]
+		loc := s.mapper.Decode(req.addr)
+		ctl := s.ctrls[loc.Channel]
+		var ok bool
+		if req.write {
+			ok = ctl.EnqueueWrite(now, -1, req.addr, loc, nil)
+		} else {
+			ok = ctl.EnqueueRead(now, -1, req.addr, loc, memctrl.ReadPrefetch, nil)
+		}
+		if !ok {
+			return
+		}
+		s.ioq = s.ioq[1:]
+	}
+}
+
+// resetStats clears all measurement state at the warmup boundary.
+func (s *System) resetStats(now uint64) {
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	for _, ctl := range s.ctrls {
+		ctl.ResetStats(now)
+	}
+	s.l2.Stats.Reset()
+	for _, l1 := range s.l1 {
+		l1.Stats.Reset()
+	}
+	s.demandMisses = 0
+}
+
+// primeCaches installs a steady-state content sample into the L2:
+// every core's hot region (resident by construction) plus a random
+// sample of cold-region blocks filling the remaining capacity, dirty
+// with the profile's store fraction. Streaming the equivalent miss
+// history would take tens of millions of instructions (the paper warms
+// one billion); for a random miss stream the steady-state tag-array
+// content is statistically just such a sample, so installing it
+// directly is equivalent and ~1000x faster. The short functional
+// warmup that follows settles L1s and LRU order.
+func (s *System) primeCaches() {
+	p := s.cfg.Profile
+	layout := workload.NewLayout(p)
+	rng := newPrimeRNG(s.cfg.Seed)
+	block := uint64(s.cfg.L2.BlockBytes)
+	d := p.Derived()
+	// Install-history mixture: a miss is a stream-burst block with
+	// probability fs, else a cold block. Stream blocks arrive in
+	// sequential dirty runs (store-dominated bursts), cold blocks are
+	// scattered and dirty with the store fraction. Replaying 1.2x the
+	// L2 capacity of such installs reproduces the steady-state
+	// content, dirtiness and LRU grouping of a long warmup.
+	streamShare := 0.0
+	if total := d.PCold + d.PBurstStart*d.BurstLen; total > 0 {
+		streamShare = d.PBurstStart * d.BurstLen / total
+	}
+	burstDirty := p.BurstStoreFraction
+	if burstDirty == 0 {
+		burstDirty = p.StoreFraction
+	}
+	installs := s.cfg.L2.SizeBytes / s.cfg.L2.BlockBytes * 6 / 5
+	for i := 0; i < installs; {
+		if rng.float() < streamShare {
+			run := int(d.BurstLen)
+			if run < 1 {
+				run = 1
+			}
+			start := layout.StreamBase + (rng.next()%layout.StreamSize)&^(block-1)
+			for j := 0; j < run && i < installs; j++ {
+				s.l2.Install(start+uint64(j)*block, rng.float() < burstDirty)
+				i++
+			}
+		} else {
+			addr := layout.ColdBase + (rng.next()%layout.ColdSize)&^(block-1)
+			s.l2.Install(addr, rng.float() < p.StoreFraction)
+			i++
+		}
+	}
+	// Hot regions last: resident and most recently used.
+	for core := 0; core < p.Cores; core++ {
+		base := layout.HotBase + uint64(core)*layout.HotStride
+		for off := uint64(0); off < layout.HotStride; off += block {
+			s.l2.Install(base+off, false)
+		}
+	}
+}
+
+// autoWarmupInstr sizes the functional warmup that follows cache
+// priming: enough to populate the L1s and realistic LRU/dirty state.
+func (s *System) autoWarmupInstr() uint64 {
+	return 60_000
+}
+
+// FunctionalWarmup primes the caches and then streams instrPerCore
+// instructions from every core through the cache hierarchy with no
+// timing — the SimFlex-style functional warming of §3.2. DRAM and
+// controllers are untouched; dirty victims are dropped (their
+// writebacks belong to the un-timed past). Zero selects the automatic
+// sizing.
+func (s *System) FunctionalWarmup(instrPerCore uint64) {
+	s.primeCaches()
+	if instrPerCore == 0 {
+		instrPerCore = s.autoWarmupInstr()
+	}
+	for coreID, gen := range s.gens {
+		l1 := s.l1[coreID]
+		for n := uint64(0); n < instrPerCore; n++ {
+			op := gen.Next()
+			if op.Kind == workload.OpNonMem {
+				continue
+			}
+			addr := op.Addr & s.blockMask
+			write := op.Kind == workload.OpStore
+			if l1.Access(addr, write) {
+				continue
+			}
+			if !s.l2.Access(addr, false) {
+				s.l2.Install(addr, false) // victim writeback dropped
+			}
+			v := l1.Install(addr, write)
+			if v.Valid && v.Dirty && !s.l2.Access(v.Addr, true) {
+				s.l2.Install(v.Addr, true)
+			}
+		}
+	}
+	s.warmed = true
+}
+
+// Step advances the whole system by one cycle. Most callers use Run;
+// Step exists for fine-grained tests and incremental benchmarks.
+func (s *System) Step() {
+	now := s.cycle
+	s.deliverFills(now)
+	s.tickIO(now)
+	s.drainWritebacks(now)
+	for _, c := range s.cores {
+		c.Tick(now, s)
+	}
+	for _, ctl := range s.ctrls {
+		ctl.Tick(now)
+	}
+	s.cycle++
+}
+
+// Run performs functional warming (unless already done), timed warmup,
+// then measurement, and returns the metrics of the measurement window.
+func (s *System) Run() Metrics {
+	if !s.warmed {
+		s.FunctionalWarmup(s.cfg.WarmupInstrPerCore)
+	}
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for s.cycle < total {
+		if s.cycle == s.cfg.WarmupCycles {
+			s.resetStats(s.cycle)
+		}
+		s.Step()
+	}
+	return s.collect(total)
+}
+
+// collect assembles Metrics at endCycle.
+func (s *System) collect(endCycle uint64) Metrics {
+	m := Metrics{Cycles: s.cfg.MeasureCycles}
+	for _, c := range s.cores {
+		m.Retired += c.Stats.Retired
+		m.PerCoreIPC = append(m.PerCoreIPC, float64(c.Stats.Retired)/float64(s.cfg.MeasureCycles))
+	}
+	m.UserIPC = float64(m.Retired) / float64(s.cfg.MeasureCycles)
+	m.DemandMisses = s.demandMisses
+	if m.Retired > 0 {
+		m.MPKI = float64(s.demandMisses) / (float64(m.Retired) / 1000)
+	}
+
+	var latSum, latCount float64
+	var rq, wq, bw float64
+	var act1, actTotal uint64
+	for _, ctl := range s.ctrls {
+		st := &ctl.Stats
+		m.ReadsServed += st.ReadsServed
+		m.WritesServed += st.WritesServed
+		m.RowHits += st.RowHits
+		m.RowMisses += st.RowMisses
+		m.RowConflicts += st.RowConflicts
+		m.PolicyCloses += st.PolicyCloses
+		m.ConflictCloses += st.ConflictCloses
+		m.ForwardedReads += st.ForwardedReads
+		latSum += st.ReadLatency.Mean() * float64(st.ReadLatency.Count())
+		latCount += float64(st.ReadLatency.Count())
+		rq += st.ReadQ.Average(endCycle)
+		wq += st.WriteQ.Average(endCycle)
+
+		dev := &ctl.Channel().Stats
+		m.Activates += dev.Activates
+		bw += float64(dev.DataBusBusy) / float64(s.cfg.MeasureCycles)
+		for i := 1; i < len(dev.ActivationReuse); i++ {
+			actTotal += dev.ActivationReuse[i]
+		}
+		act1 += dev.ActivationReuse[1]
+	}
+	n := float64(len(s.ctrls))
+	if latCount > 0 {
+		m.AvgReadLatency = latSum/latCount + float64(s.cfg.MemPathLatency) + float64(s.cfg.L2HitLatency)
+	}
+	total := m.RowHits + m.RowMisses + m.RowConflicts
+	if total > 0 {
+		m.RowHitRate = float64(m.RowHits) / float64(total)
+	}
+	m.AvgReadQ = rq / n
+	m.AvgWriteQ = wq / n
+	m.BandwidthUtil = bw / n
+	if actTotal > 0 {
+		m.SingleAccessFrac = float64(act1) / float64(actTotal)
+	}
+	return m
+}

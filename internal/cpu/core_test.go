@@ -1,0 +1,227 @@
+package cpu
+
+import (
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+// scriptPort replays canned results and records accesses.
+type scriptPort struct {
+	results []AccessResult
+	loads   int
+	stores  int
+}
+
+func (p *scriptPort) next() AccessResult {
+	if len(p.results) == 0 {
+		return AccessResult{}
+	}
+	r := p.results[0]
+	p.results = p.results[1:]
+	return r
+}
+
+func (p *scriptPort) Load(now uint64, core int, addr uint64) AccessResult {
+	p.loads++
+	return p.next()
+}
+
+func (p *scriptPort) Store(now uint64, core int, addr uint64) AccessResult {
+	p.stores++
+	return p.next()
+}
+
+// loadGen produces an endless stream of loads (or stores).
+func loadGen(t *testing.T, kind workload.OpKind) *workload.Generator {
+	t.Helper()
+	// A profile that makes every instruction a cold memory reference.
+	p := workload.DataServing()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	_ = gen
+	return gen
+}
+
+func coreCfg() Config {
+	return Config{MLPLimit: 2, StoreBufferCap: 2, BaseCPI: 1}
+}
+
+func TestCoreRetiresNonMem(t *testing.T) {
+	p := workload.WebSearch() // low memory intensity
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, coreCfg(), gen)
+	port := &scriptPort{}
+	for now := uint64(0); now < 1000; now++ {
+		c.Tick(now, port)
+	}
+	if c.Stats.Retired == 0 {
+		t.Fatal("core retired nothing")
+	}
+}
+
+func TestCoreBlocksAtMLPLimit(t *testing.T) {
+	p := workload.DataServing()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 2, StoreBufferCap: 8, BaseCPI: 1}, gen)
+	// Every load misses (Pending), stores complete instantly.
+	port := &scriptPort{}
+	pending := AccessResult{Pending: true}
+	for i := 0; i < 64; i++ {
+		port.results = append(port.results, pending)
+	}
+	for now := uint64(0); now < 100_000 && c.Outstanding() < 2; now++ {
+		c.Tick(now, port)
+	}
+	if c.Outstanding() != 2 {
+		t.Skipf("stream produced too few loads in window (outstanding=%d)", c.Outstanding())
+	}
+	if !c.Blocked() {
+		t.Fatal("core not blocked at MLP limit")
+	}
+	retired := c.Stats.Retired
+	c.Tick(200_000, port)
+	if c.Stats.Retired != retired {
+		t.Fatal("blocked core retired an instruction")
+	}
+	c.LoadReturned(200_001)
+	if c.Blocked() {
+		t.Fatal("core still blocked after a fill")
+	}
+}
+
+func TestLoadReturnedPanicsWithoutOutstanding(t *testing.T) {
+	p := workload.WebSearch()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, coreCfg(), gen)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.LoadReturned(0)
+}
+
+func TestBaseCPIPacesRetirement(t *testing.T) {
+	p := workload.WebSearch()
+	run := func(baseCPI float64) uint64 {
+		gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+		c := New(0, Config{MLPLimit: 4, StoreBufferCap: 8, BaseCPI: baseCPI}, gen)
+		port := &scriptPort{} // everything hits
+		for now := uint64(0); now < 30_000; now++ {
+			c.Tick(now, port)
+		}
+		return c.Stats.Retired
+	}
+	fast, slow := run(1.0), run(3.0)
+	ratio := float64(fast) / float64(slow)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("BaseCPI 1 vs 3 retirement ratio = %f, want ~3", ratio)
+	}
+}
+
+func TestExtraStallDelaysNextInstruction(t *testing.T) {
+	p := workload.WebSearch()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 4, StoreBufferCap: 8, BaseCPI: 1}, gen)
+	// First access stalls 50 cycles, everything after hits.
+	port := &scriptPort{results: []AccessResult{{ExtraStall: 50}}}
+	var retiredAt []uint64
+	last := uint64(0)
+	for now := uint64(0); now < 400; now++ {
+		before := c.Stats.Retired
+		c.Tick(now, port)
+		if c.Stats.Retired != before && port.loads+port.stores > 0 && len(retiredAt) == 0 {
+			retiredAt = append(retiredAt, now)
+			last = now
+		}
+	}
+	_ = last
+	if port.loads == 0 {
+		t.Skip("no loads in window")
+	}
+	if c.Stats.Retired == 0 {
+		t.Fatal("nothing retired")
+	}
+}
+
+func TestStoreBufferBackpressure(t *testing.T) {
+	p := workload.DataServing()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 64, StoreBufferCap: 1, BaseCPI: 1}, gen)
+	// Stores always miss (Pending) and never drain; loads hit.
+	port := &scriptPort{}
+	for i := 0; i < 256; i++ {
+		port.results = append(port.results, AccessResult{Pending: true})
+	}
+	for now := uint64(0); now < 200_000 && c.Stats.StallStore == 0; now++ {
+		c.Tick(now, port)
+	}
+	if c.storeBuf == 0 {
+		t.Skip("no store issued in window")
+	}
+	if c.Stats.StallStore == 0 {
+		t.Fatal("full store buffer did not stall the core")
+	}
+	c.StoreDrained(1)
+	if c.storeBuf != 0 {
+		t.Fatal("store buffer not drained")
+	}
+}
+
+func TestRejectedAccessRetriesSameInstruction(t *testing.T) {
+	p := workload.TPCHQ6() // memory-heavy: loads arrive quickly
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 8, StoreBufferCap: 8, BaseCPI: 1}, gen)
+	// Reject everything: memory instructions must not retire.
+	rejecting := &scriptPort{}
+	for i := 0; i < 4096; i++ {
+		rejecting.results = append(rejecting.results, AccessResult{Rejected: true})
+	}
+	for now := uint64(0); now < 4096; now++ {
+		c.Tick(now, rejecting)
+	}
+	attempts := rejecting.loads + rejecting.stores
+	if attempts < 2 {
+		t.Skip("not enough memory ops in window")
+	}
+	// Retired counts only non-memory ops: every memory op was retried,
+	// so attempts can far exceed distinct instructions. The pending op
+	// must still be the same one: now let it succeed and check exactly
+	// one instruction retires from it.
+	retired := c.Stats.Retired
+	ok := &scriptPort{}
+	c.Tick(5000, ok)
+	if c.Stats.Retired != retired+1 {
+		t.Fatalf("retired %d -> %d, want one instruction", retired, c.Stats.Retired)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{MLPLimit: 1, StoreBufferCap: 1, BaseCPI: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MLPLimit: 0, StoreBufferCap: 1, BaseCPI: 1},
+		{MLPLimit: 1, StoreBufferCap: 0, BaseCPI: 1},
+		{MLPLimit: 1, StoreBufferCap: 1, BaseCPI: 0.9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := workload.WebSearch()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, coreCfg(), gen)
+	port := &scriptPort{}
+	for now := uint64(0); now < 100; now++ {
+		c.Tick(now, port)
+	}
+	c.ResetStats()
+	if c.Stats.Retired != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,285 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testChannel returns a small channel with unscaled DDR3 timing so
+// constraint distances are easy to reason about in tests.
+func testChannel() *Channel {
+	geo := Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 1 << 10, Columns: 32, BlockBytes: 64}
+	return NewChannel(0, geo, DDR3_1600())
+}
+
+func loc(rank, bank, row, col int) Location {
+	return Location{Channel: 0, Rank: rank, Bank: bank, Row: row, Column: col}
+}
+
+func TestActivateThenReadRespectsRCD(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	if !c.CanIssue(0, Command{Kind: CmdActivate, Loc: l}) {
+		t.Fatal("ACT illegal on idle bank at cycle 0")
+	}
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+
+	rd := Command{Kind: CmdRead, Loc: l}
+	for now := uint64(1); now < uint64(c.Tim.RCD); now++ {
+		if c.CanIssue(now, rd) {
+			t.Fatalf("read legal at %d, before tRCD=%d", now, c.Tim.RCD)
+		}
+	}
+	if !c.CanIssue(uint64(c.Tim.RCD), rd) {
+		t.Fatalf("read illegal at tRCD=%d", c.Tim.RCD)
+	}
+}
+
+func TestReadWrongRowIllegal(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	other := l
+	other.Row = 6
+	if c.CanIssue(uint64(c.Tim.RCD), Command{Kind: CmdRead, Loc: other}) {
+		t.Fatal("read to a non-open row accepted")
+	}
+}
+
+func TestPrechargeRespectsRAS(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	pre := Command{Kind: CmdPrecharge, Loc: l}
+	if c.CanIssue(uint64(c.Tim.RAS)-1, pre) {
+		t.Fatal("precharge legal before tRAS")
+	}
+	if !c.CanIssue(uint64(c.Tim.RAS), pre) {
+		t.Fatal("precharge illegal at tRAS")
+	}
+}
+
+func TestActivateAfterPrechargeRespectsRP(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	preAt := uint64(c.Tim.RAS)
+	c.Issue(preAt, Command{Kind: CmdPrecharge, Loc: l})
+	act := Command{Kind: CmdActivate, Loc: l}
+	if c.CanIssue(preAt+uint64(c.Tim.RP)-1, act) {
+		t.Fatal("activate legal before tRP elapsed")
+	}
+	// tRC from the first activate is RAS+RP=39=RC here, so this is
+	// also the tRC boundary.
+	if !c.CanIssue(preAt+uint64(c.Tim.RP), act) {
+		t.Fatal("activate illegal after tRP")
+	}
+}
+
+func TestRRDBetweenBanksOfSameRank(t *testing.T) {
+	c := testChannel()
+	c.Issue(0, Command{Kind: CmdActivate, Loc: loc(0, 0, 1, 0)})
+	act := Command{Kind: CmdActivate, Loc: loc(0, 1, 1, 0)}
+	if c.CanIssue(uint64(c.Tim.RRD)-1, act) {
+		t.Fatal("activate to sibling bank legal before tRRD")
+	}
+	if !c.CanIssue(uint64(c.Tim.RRD), act) {
+		t.Fatal("activate to sibling bank illegal at tRRD")
+	}
+}
+
+func TestOtherRankNotBoundByRRD(t *testing.T) {
+	c := testChannel()
+	c.Issue(0, Command{Kind: CmdActivate, Loc: loc(0, 0, 1, 0)})
+	// Command bus is busy at cycle 0, so use cycle 1 (< tRRD).
+	if !c.CanIssue(1, Command{Kind: CmdActivate, Loc: loc(1, 0, 1, 0)}) {
+		t.Fatal("activate to another rank blocked by tRRD")
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	c := testChannel()
+	rrd := uint64(c.Tim.RRD)
+	var at uint64
+	for i := 0; i < 4; i++ {
+		cmd := Command{Kind: CmdActivate, Loc: loc(0, i, 1, 0)}
+		if !c.CanIssue(at, cmd) {
+			t.Fatalf("ACT %d illegal at %d", i, at)
+		}
+		c.Issue(at, cmd)
+		at += rrd
+	}
+	// The 5th activate must wait for tFAW after the first, even though
+	// tRRD from the fourth has elapsed. Reuse bank 0 after closing it
+	// is not possible this early, so use rank 0's bank 0 row change...
+	// simply try bank 0 again: it is still active, so use a different
+	// bank index beyond the four: geometry has 4 banks, so precharge
+	// bank 0 is not allowed yet either. Instead verify the window on a
+	// fresh bank of the same rank by checking rank-level CanActivate.
+	fifth := Command{Kind: CmdActivate, Loc: loc(0, 0, 2, 0)}
+	_ = fifth
+	faw := uint64(c.Tim.FAW)
+	if c.Ranks[0].CanActivate(at, &c.Tim) && at < faw {
+		t.Fatalf("rank allows 5th ACT at %d inside tFAW=%d", at, faw)
+	}
+	if !c.Ranks[0].CanActivate(faw, &c.Tim) {
+		t.Fatal("rank blocks ACT after tFAW has elapsed")
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	wrAt := uint64(c.Tim.RCD)
+	c.Issue(wrAt, Command{Kind: CmdWrite, Loc: l})
+	dataEnd := wrAt + uint64(c.Tim.CWL+c.Tim.Burst)
+	rd := Command{Kind: CmdRead, Loc: l}
+	if c.CanIssue(dataEnd+uint64(c.Tim.WTR)-1, rd) {
+		t.Fatal("read legal before tWTR after write data")
+	}
+	if !c.CanIssue(dataEnd+uint64(c.Tim.WTR), rd) {
+		t.Fatal("read illegal after tWTR")
+	}
+}
+
+func TestWriteRecoveryBeforePrecharge(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 3)
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	wrAt := uint64(c.Tim.RCD)
+	c.Issue(wrAt, Command{Kind: CmdWrite, Loc: l})
+	preOK := wrAt + uint64(c.Tim.CWL+c.Tim.Burst+c.Tim.WR)
+	pre := Command{Kind: CmdPrecharge, Loc: l}
+	if c.CanIssue(preOK-1, pre) {
+		t.Fatal("precharge legal before write recovery")
+	}
+	if !c.CanIssue(preOK, pre) {
+		t.Fatal("precharge illegal after write recovery")
+	}
+}
+
+func TestCommandBusOneCommandPerCycle(t *testing.T) {
+	c := testChannel()
+	c.Issue(5, Command{Kind: CmdActivate, Loc: loc(0, 0, 1, 0)})
+	if c.CanIssue(5, Command{Kind: CmdActivate, Loc: loc(1, 0, 1, 0)}) {
+		t.Fatal("two commands accepted in the same cycle")
+	}
+	if !c.CanIssue(6, Command{Kind: CmdActivate, Loc: loc(1, 0, 1, 0)}) {
+		t.Fatal("command bus still busy one cycle later")
+	}
+}
+
+func TestIssuePanicsOnIllegalCommand(t *testing.T) {
+	c := testChannel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for illegal command")
+		}
+	}()
+	c.Issue(0, Command{Kind: CmdRead, Loc: loc(0, 0, 1, 0)}) // bank idle
+}
+
+func TestActivationReuseHistogram(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 5, 0)
+	now := uint64(0)
+	c.Issue(now, Command{Kind: CmdActivate, Loc: l})
+	now += uint64(c.Tim.RCD)
+	// Three reads to the open row.
+	for i := 0; i < 3; i++ {
+		l.Column = i
+		c.Issue(now, Command{Kind: CmdRead, Loc: l})
+		now += uint64(c.Tim.Burst + 1)
+	}
+	now += uint64(c.Tim.RAS)
+	c.Issue(now, Command{Kind: CmdPrecharge, Loc: l})
+	if got := c.Stats.ActivationReuse[3]; got != 1 {
+		t.Fatalf("reuse[3] = %d, want 1", got)
+	}
+	frac, total := c.Stats.SingleAccessFraction()
+	if total != 1 || frac != 0 {
+		t.Fatalf("single-access = (%f, %d), want (0, 1)", frac, total)
+	}
+}
+
+func TestSingleAccessFraction(t *testing.T) {
+	var s Stats
+	s.recordReuse(1)
+	s.recordReuse(1)
+	s.recordReuse(1)
+	s.recordReuse(5)
+	s.recordReuse(0) // zero-access activation excluded
+	frac, total := s.SingleAccessFraction()
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	if frac != 0.75 {
+		t.Fatalf("fraction = %f, want 0.75", frac)
+	}
+}
+
+// TestPropertyNoIllegalInterleavings drives the channel with randomly
+// chosen commands, issuing only those CanIssue accepts, and checks the
+// device invariants hold throughout: at most one open row per bank,
+// data-bus slots never overlap, and every accepted command keeps the
+// state machine consistent.
+func TestPropertyNoIllegalInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((rng >> 33) % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		c := testChannel()
+		lastDataStart := int64(-1)
+		var lastDataEnd uint64
+		for now := uint64(0); now < 3000; now++ {
+			kind := CommandKind(1 + next(4))
+			l := loc(next(2), next(4), next(16), next(32))
+			if kind == CmdRead || kind == CmdWrite {
+				if row, open := c.OpenRow(l.Rank, l.Bank); open {
+					l.Row = row // target the open row half the time
+				}
+			}
+			cmd := Command{Kind: kind, Loc: l}
+			if !c.CanIssue(now, cmd) {
+				continue
+			}
+			before := c.Bank(l.Rank, l.Bank).State
+			done := c.Issue(now, cmd)
+			bank := c.Bank(l.Rank, l.Bank)
+			switch kind {
+			case CmdActivate:
+				if before != BankIdle || bank.State != BankActive || bank.OpenRow != l.Row {
+					return false
+				}
+			case CmdPrecharge:
+				if before != BankActive || bank.State != BankIdle {
+					return false
+				}
+			case CmdRead, CmdWrite:
+				if bank.State != BankActive || bank.OpenRow != l.Row {
+					return false
+				}
+				start := done - uint64(c.Tim.Burst)
+				if int64(start) < lastDataStart {
+					return false // bus slots must be ordered
+				}
+				if start < lastDataEnd {
+					return false // bus slots must not overlap
+				}
+				lastDataStart = int64(start)
+				lastDataEnd = done
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package dram
+
+import "fmt"
+
+// CommandKind enumerates the DRAM commands the controller can issue.
+type CommandKind uint8
+
+const (
+	// CmdNop issues nothing this cycle.
+	CmdNop CommandKind = iota
+	// CmdActivate opens Loc.Row in the addressed bank.
+	CmdActivate
+	// CmdPrecharge closes the open row of the addressed bank.
+	CmdPrecharge
+	// CmdRead performs a column read from the open row.
+	CmdRead
+	// CmdWrite performs a column write to the open row.
+	CmdWrite
+)
+
+var commandNames = [...]string{
+	CmdNop:       "NOP",
+	CmdActivate:  "ACT",
+	CmdPrecharge: "PRE",
+	CmdRead:      "RD",
+	CmdWrite:     "WR",
+}
+
+func (k CommandKind) String() string {
+	if int(k) < len(commandNames) {
+		return commandNames[k]
+	}
+	return fmt.Sprintf("CommandKind(%d)", uint8(k))
+}
+
+// IsColumn reports whether the command transfers data (READ or WRITE).
+func (k CommandKind) IsColumn() bool { return k == CmdRead || k == CmdWrite }
+
+// Command is one DRAM command addressed to a location. For ACTIVATE
+// the column is ignored; for PRECHARGE both row and column are
+// ignored.
+type Command struct {
+	Kind CommandKind
+	Loc  Location
+}
+
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdNop:
+		return "NOP"
+	case CmdPrecharge:
+		return fmt.Sprintf("PRE ch%d/ra%d/ba%d", c.Loc.Channel, c.Loc.Rank, c.Loc.Bank)
+	case CmdActivate:
+		return fmt.Sprintf("ACT ch%d/ra%d/ba%d/row%d", c.Loc.Channel, c.Loc.Rank, c.Loc.Bank, c.Loc.Row)
+	default:
+		return fmt.Sprintf("%s %s", c.Kind, c.Loc)
+	}
+}

@@ -1,0 +1,125 @@
+package dram
+
+import "fmt"
+
+// Timing holds the DRAM timing parameters, all in controller clock
+// cycles. Field names follow the JEDEC parameters cited in the paper's
+// Table 2.
+type Timing struct {
+	// CAS is the read column-access latency (tCAS/tCL): cycles from a
+	// READ command to the first data beat.
+	CAS int
+	// CWL is the write column-access latency: cycles from a WRITE
+	// command to the first data beat.
+	CWL int
+	// RCD is the ACTIVATE-to-column-command delay (tRCD).
+	RCD int
+	// RP is the PRECHARGE-to-ACTIVATE delay (tRP).
+	RP int
+	// RAS is the minimum ACTIVATE-to-PRECHARGE delay (tRAS).
+	RAS int
+	// RC is the minimum ACTIVATE-to-ACTIVATE delay for one bank (tRC).
+	RC int
+	// WR is the write recovery time: last write data beat to PRECHARGE
+	// (tWR).
+	WR int
+	// WTR is the write-to-read turnaround: last write data beat to the
+	// next READ command on the channel (tWTR).
+	WTR int
+	// RTP is the READ-to-PRECHARGE delay (tRTP).
+	RTP int
+	// RRD is the ACTIVATE-to-ACTIVATE delay between different banks of
+	// the same rank (tRRD).
+	RRD int
+	// FAW is the four-activate window per rank (tFAW): at most four
+	// ACTIVATEs may issue to one rank in any window of this length.
+	FAW int
+	// Burst is the number of cycles one block transfer occupies the
+	// data bus (BL8 on DDR3: 4 bus cycles).
+	Burst int
+	// RTW is the extra bus-turnaround gap inserted between the end of
+	// read data and the start of write data on the same channel.
+	RTW int
+}
+
+// DDR3_1600 returns the paper's Table 2 timing parameters, expressed
+// in DRAM bus cycles at 800MHz:
+//
+//	tCAS-tRCD-tRP-tRAS = 11-11-11-28
+//	tRC-tWR-tWTR-tRTP  = 39-12-6-6
+//	tRRD-tFAW          = 5-24
+//
+// CWL=8 and Burst=4 (BL8) are standard DDR3-1600 values; RTW=2 is the
+// conventional read-to-write turnaround bubble.
+func DDR3_1600() Timing {
+	return Timing{
+		CAS:   11,
+		CWL:   8,
+		RCD:   11,
+		RP:    11,
+		RAS:   28,
+		RC:    39,
+		WR:    12,
+		WTR:   6,
+		RTP:   6,
+		RRD:   5,
+		FAW:   24,
+		Burst: 4,
+		RTW:   2,
+	}
+}
+
+// ScaleFrom converts a timing set expressed in DRAM bus cycles into
+// controller cycles, where the controller runs num/den times faster
+// than the DRAM bus. Each parameter is rounded up (conservative: never
+// issues a command earlier than the datasheet allows).
+//
+// The baseline system runs 2GHz cores against an 800MHz DDR3 bus, so
+// the simulator uses ScaleFrom(5, 2): one DRAM cycle is 2.5 CPU
+// cycles.
+func (t Timing) ScaleFrom(num, den int) Timing {
+	if num <= 0 || den <= 0 {
+		panic(fmt.Sprintf("dram: invalid clock ratio %d/%d", num, den))
+	}
+	ceil := func(v int) int { return (v*num + den - 1) / den }
+	return Timing{
+		CAS:   ceil(t.CAS),
+		CWL:   ceil(t.CWL),
+		RCD:   ceil(t.RCD),
+		RP:    ceil(t.RP),
+		RAS:   ceil(t.RAS),
+		RC:    ceil(t.RC),
+		WR:    ceil(t.WR),
+		WTR:   ceil(t.WTR),
+		RTP:   ceil(t.RTP),
+		RRD:   ceil(t.RRD),
+		FAW:   ceil(t.FAW),
+		Burst: ceil(t.Burst),
+		RTW:   ceil(t.RTW),
+	}
+}
+
+// Validate reports an error if any parameter is non-positive or the
+// set is internally inconsistent.
+func (t Timing) Validate() error {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"CAS", t.CAS}, {"CWL", t.CWL}, {"RCD", t.RCD}, {"RP", t.RP},
+		{"RAS", t.RAS}, {"RC", t.RC}, {"WR", t.WR}, {"WTR", t.WTR},
+		{"RTP", t.RTP}, {"RRD", t.RRD}, {"FAW", t.FAW}, {"Burst", t.Burst},
+	}
+	for _, f := range fields {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: timing %s = %d must be positive", f.name, f.v)
+		}
+	}
+	if t.RTW < 0 {
+		return fmt.Errorf("dram: timing RTW = %d must be non-negative", t.RTW)
+	}
+	if t.RC < t.RAS {
+		return fmt.Errorf("dram: tRC (%d) must be >= tRAS (%d)", t.RC, t.RAS)
+	}
+	return nil
+}

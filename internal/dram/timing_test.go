@@ -1,0 +1,148 @@
+package dram
+
+import "testing"
+
+func TestDDR3TimingMatchesPaperTable2(t *testing.T) {
+	tim := DDR3_1600()
+	// Table 2: tCAS-tRCD-tRP-tRAS = 11-11-11-28,
+	// tRC-tWR-tWTR-tRTP = 39-12-6-6, tRRD-tFAW = 5-24.
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"CAS", tim.CAS, 11}, {"RCD", tim.RCD, 11}, {"RP", tim.RP, 11},
+		{"RAS", tim.RAS, 28}, {"RC", tim.RC, 39}, {"WR", tim.WR, 12},
+		{"WTR", tim.WTR, 6}, {"RTP", tim.RTP, 6}, {"RRD", tim.RRD, 5},
+		{"FAW", tim.FAW, 24},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if err := tim.Validate(); err != nil {
+		t.Fatalf("paper timing invalid: %v", err)
+	}
+}
+
+func TestTimingScaleFromRoundsUp(t *testing.T) {
+	tim := Timing{CAS: 11, CWL: 8, RCD: 11, RP: 11, RAS: 28, RC: 39,
+		WR: 12, WTR: 6, RTP: 6, RRD: 5, FAW: 24, Burst: 4, RTW: 2}
+	scaled := tim.ScaleFrom(5, 2) // 2.5 CPU cycles per DRAM cycle
+	cases := []struct {
+		name      string
+		got, want int
+	}{
+		{"CAS", scaled.CAS, 28}, // ceil(27.5)
+		{"RCD", scaled.RCD, 28}, // ceil(27.5)
+		{"RAS", scaled.RAS, 70}, // exact
+		{"RC", scaled.RC, 98},   // ceil(97.5)
+		{"RRD", scaled.RRD, 13}, // ceil(12.5)
+		{"FAW", scaled.FAW, 60}, // exact
+		{"Burst", scaled.Burst, 10},
+		{"RTW", scaled.RTW, 5},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("scaled %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestTimingScaleIdentity(t *testing.T) {
+	tim := DDR3_1600()
+	if got := tim.ScaleFrom(1, 1); got != tim {
+		t.Fatalf("identity scale changed timing: %+v vs %+v", got, tim)
+	}
+}
+
+func TestTimingValidateRejectsBadValues(t *testing.T) {
+	tim := DDR3_1600()
+	tim.CAS = 0
+	if err := tim.Validate(); err == nil {
+		t.Error("zero CAS accepted")
+	}
+	tim = DDR3_1600()
+	tim.RC = tim.RAS - 1
+	if err := tim.Validate(); err == nil {
+		t.Error("RC < RAS accepted")
+	}
+	tim = DDR3_1600()
+	tim.RTW = -1
+	if err := tim.Validate(); err == nil {
+		t.Error("negative RTW accepted")
+	}
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TotalBytes(); got != 32<<30 {
+		t.Errorf("capacity = %d, want 32GiB", got)
+	}
+	if got := g.RowBufferBytes(); got != 8<<10 {
+		t.Errorf("row buffer = %d, want 8KiB", got)
+	}
+	if got := g.BanksPerChannel(); got != 16 {
+		t.Errorf("banks per channel = %d, want 16", got)
+	}
+}
+
+func TestGeometryWithChannelsKeepsCapacity(t *testing.T) {
+	g := DefaultGeometry()
+	for _, ch := range []int{1, 2, 4, 8} {
+		scaled := g.WithChannels(ch)
+		if err := scaled.Validate(); err != nil {
+			t.Fatalf("channels=%d: %v", ch, err)
+		}
+		if scaled.TotalBytes() != g.TotalBytes() {
+			t.Errorf("channels=%d: capacity changed to %d", ch, scaled.TotalBytes())
+		}
+		if scaled.Channels != ch {
+			t.Errorf("channels=%d: got %d", ch, scaled.Channels)
+		}
+	}
+}
+
+func TestGeometryWithChannelsPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 3 channels")
+		}
+	}()
+	DefaultGeometry().WithChannels(3)
+}
+
+func TestGeometryValidateRejectsNonPowerOfTwo(t *testing.T) {
+	g := DefaultGeometry()
+	g.Rows = 1000
+	if err := g.Validate(); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+}
+
+func TestLocationPredicates(t *testing.T) {
+	a := Location{Channel: 0, Rank: 1, Bank: 2, Row: 3, Column: 4}
+	b := a
+	if !a.SameRow(b) || !a.SameBank(b) {
+		t.Error("identical locations should share row and bank")
+	}
+	b.Column = 9
+	if !a.SameRow(b) {
+		t.Error("different column should still share row")
+	}
+	b.Row = 7
+	if a.SameRow(b) {
+		t.Error("different row reported as same row")
+	}
+	if !a.SameBank(b) {
+		t.Error("different row should still share bank")
+	}
+	b.Bank = 5
+	if a.SameBank(b) {
+		t.Error("different bank reported as same bank")
+	}
+}

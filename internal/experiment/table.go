@@ -1,0 +1,115 @@
+// Package experiment drives the study: it runs workload x
+// configuration grids on the simulator and renders every figure and
+// table of the paper's evaluation (§4) as text and CSV. Each FigureNN
+// function corresponds to one figure; Table4 to Table 4.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result: rows are workloads (plus
+// the paper's category averages), columns are the compared
+// configurations.
+type Table struct {
+	// ID names the paper artifact, e.g. "Figure 1".
+	ID string
+	// Title is the figure caption (abbreviated).
+	Title string
+	// Rows are row labels: workload acronyms then Avg_SCO, Avg_TRS,
+	// Avg_DSP.
+	Rows []string
+	// Cols are the series labels (schedulers, policies, channels).
+	Cols []string
+	// Values is indexed [row][col]. NaN cells render as "-".
+	Values [][]float64
+	// Text is an optional per-cell string table used instead of
+	// Values (Table 4's mapping names).
+	Text [][]string
+	// Note describes normalization and the paper's headline
+	// observation for comparison.
+	Note string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "  (%s)\n", t.Note)
+	}
+	width := 10
+	for _, c := range t.Cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&sb, "%-10s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&sb, "%*s", width, c)
+	}
+	sb.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s", r)
+		for j := range t.Cols {
+			sb.WriteString(t.cell(i, j, width))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (t *Table) cell(i, j, width int) string {
+	if t.Text != nil {
+		return fmt.Sprintf("%*s", width, t.Text[i][j])
+	}
+	v := t.Values[i][j]
+	if v != v { // NaN
+		return fmt.Sprintf("%*s", width, "-")
+	}
+	return fmt.Sprintf("%*.3f", width, v)
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("workload")
+	for _, c := range t.Cols {
+		sb.WriteByte(',')
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+	for i, r := range t.Rows {
+		sb.WriteString(r)
+		for j := range t.Cols {
+			sb.WriteByte(',')
+			if t.Text != nil {
+				sb.WriteString(t.Text[i][j])
+			} else if v := t.Values[i][j]; v == v {
+				fmt.Fprintf(&sb, "%.6g", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Cell returns the value at (rowLabel, colLabel); ok reports presence.
+func (t *Table) Cell(rowLabel, colLabel string) (v float64, ok bool) {
+	ri, ci := -1, -1
+	for i, r := range t.Rows {
+		if r == rowLabel {
+			ri = i
+		}
+	}
+	for j, c := range t.Cols {
+		if c == colLabel {
+			ci = j
+		}
+	}
+	if ri < 0 || ci < 0 || t.Values == nil {
+		return 0, false
+	}
+	return t.Values[ri][ci], true
+}

@@ -1,0 +1,548 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"cloudmc/internal/dram"
+	"cloudmc/internal/pagepolicy"
+	"cloudmc/internal/stats"
+)
+
+// Config holds the controller's queue and write-drain parameters.
+type Config struct {
+	// ReadQueueCap and WriteQueueCap bound the queues; enqueue fails
+	// (backpressure) when full.
+	ReadQueueCap  int
+	WriteQueueCap int
+	// WriteHi and WriteLo are the write-drain watermarks: the
+	// controller switches to draining writes when the write queue
+	// reaches WriteHi and back to reads when it falls to WriteLo.
+	WriteHi int
+	WriteLo int
+	// ForwardLatency is the latency of serving a read straight from
+	// the write queue (store-to-load forwarding inside the MC).
+	ForwardLatency int
+}
+
+// DefaultConfig returns the queue configuration used by the study:
+// queues sized comfortably above the occupancies the paper observes
+// (§4.1.3 reports at most 10 reads and 50 writes outstanding).
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:   64,
+		WriteQueueCap:  64,
+		WriteHi:        40,
+		WriteLo:        16,
+		ForwardLatency: 4,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (c Config) Validate() error {
+	if c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
+		return fmt.Errorf("memctrl: queue capacities must be positive (read %d, write %d)", c.ReadQueueCap, c.WriteQueueCap)
+	}
+	if c.WriteHi <= 0 || c.WriteHi > c.WriteQueueCap {
+		return fmt.Errorf("memctrl: WriteHi %d out of range (cap %d)", c.WriteHi, c.WriteQueueCap)
+	}
+	if c.WriteLo < 0 || c.WriteLo >= c.WriteHi {
+		return fmt.Errorf("memctrl: WriteLo %d must be in [0, WriteHi)", c.WriteLo)
+	}
+	if c.ForwardLatency < 1 {
+		return fmt.Errorf("memctrl: ForwardLatency must be >= 1")
+	}
+	return nil
+}
+
+// Stats accumulates controller-level statistics over a measurement
+// window.
+type Stats struct {
+	// ReadsServed and WritesServed count completed transfers.
+	ReadsServed  uint64
+	WritesServed uint64
+	// RowHits/RowMisses/RowConflicts classify every column access:
+	// hit = served from an already-open row; miss = required an
+	// activation of an idle bank; conflict = required closing another
+	// row first.
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	// ReadLatency tracks queue+service latency of reads (arrival at
+	// the controller to last data beat).
+	ReadLatency stats.LatencyHist
+	// ReadQ and WriteQ are time-weighted queue-occupancy trackers.
+	ReadQ  stats.TimeWeighted
+	WriteQ stats.TimeWeighted
+	// ForwardedReads counts reads served from the write queue.
+	ForwardedReads uint64
+	// EnqueueFailures counts rejected enqueues (backpressure).
+	EnqueueFailures uint64
+	// PolicyCloses counts precharges issued by the page policy;
+	// ConflictCloses counts precharges forced by conflicting requests.
+	PolicyCloses   uint64
+	ConflictCloses uint64
+}
+
+// RowHitRate returns hits / (hits + misses + conflicts).
+func (s *Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// completion is an in-flight data transfer.
+type completion struct {
+	at  uint64
+	req *Request
+}
+
+// Controller is one per-channel memory controller.
+type Controller struct {
+	cfg    Config
+	ch     *dram.Channel
+	policy Policy
+	page   pagepolicy.Policy
+
+	readQ  []*Request
+	writeQ []*Request
+
+	// inflight holds issued column accesses ordered by completion
+	// time (insertion keeps it sorted; it stays tiny).
+	inflight []completion
+
+	writeMode bool
+	nextID    uint64
+
+	// pendingClose marks banks whose open row the page policy has
+	// decided to precharge once timing allows; indexed rank*banks+bank.
+	pendingClose []bool
+
+	// scratch buffers reused across cycles to avoid allocation.
+	optBuf     []Option
+	view       View
+	groups     map[groupKey]*Request
+	gkOrder    []groupKey
+	bankOldest map[int]uint64
+
+	Stats Stats
+}
+
+type groupKey struct {
+	rank, bank, row int
+}
+
+// New builds a controller for channel ch with the given scheduling and
+// page-management policies.
+func New(cfg Config, ch *dram.Channel, policy Policy, page pagepolicy.Policy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ch == nil || policy == nil || page == nil {
+		return nil, fmt.Errorf("memctrl: nil channel, policy, or page policy")
+	}
+	return &Controller{
+		cfg:          cfg,
+		ch:           ch,
+		policy:       policy,
+		page:         page,
+		pendingClose: make([]bool, ch.Geo.Ranks*ch.Geo.Banks),
+		groups:       make(map[groupKey]*Request),
+		bankOldest:   make(map[int]uint64),
+	}, nil
+}
+
+// Channel exposes the underlying DRAM channel (for device statistics).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// Policy exposes the scheduling policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// PagePolicy exposes the page-management policy.
+func (c *Controller) PagePolicy() pagepolicy.Policy { return c.page }
+
+// QueueLens returns current read and write queue occupancies.
+func (c *Controller) QueueLens() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Pending returns the number of requests queued or in flight.
+func (c *Controller) Pending() int {
+	return len(c.readQ) + len(c.writeQ) + len(c.inflight)
+}
+
+// EnqueueRead queues a read. It returns false when the read queue is
+// full; the caller must retry later (modelling backpressure into the
+// cache hierarchy). Reads that match a queued write's address are
+// served by forwarding without touching DRAM.
+func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Location, kind RequestKind, onDone func(uint64)) bool {
+	if kind.IsWrite() {
+		panic("memctrl: EnqueueRead called with a write kind")
+	}
+	for _, w := range c.writeQ {
+		if w.Addr == addr {
+			c.Stats.ForwardedReads++
+			r := &Request{
+				ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+				Kind: kind, Arrival: now, OnDone: onDone,
+			}
+			c.nextID++
+			c.scheduleCompletion(r, now+uint64(c.cfg.ForwardLatency))
+			return true
+		}
+	}
+	if len(c.readQ) >= c.cfg.ReadQueueCap {
+		c.Stats.EnqueueFailures++
+		return false
+	}
+	r := &Request{
+		ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+		Kind: kind, Arrival: now, OnDone: onDone,
+	}
+	c.nextID++
+	c.readQ = append(c.readQ, r)
+	c.policy.OnEnqueue(r, now)
+	return true
+}
+
+// EnqueueWrite queues a writeback. It returns false when the write
+// queue is full. A write to an address already queued is merged.
+func (c *Controller) EnqueueWrite(now uint64, core int, addr uint64, loc dram.Location, onDone func(uint64)) bool {
+	for _, w := range c.writeQ {
+		if w.Addr == addr {
+			// Coalesce: the queued write already covers this block.
+			if onDone != nil {
+				onDone(now)
+			}
+			return true
+		}
+	}
+	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+		c.Stats.EnqueueFailures++
+		return false
+	}
+	r := &Request{
+		ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+		Kind: WriteBack, Arrival: now, OnDone: onDone,
+	}
+	c.nextID++
+	c.writeQ = append(c.writeQ, r)
+	c.policy.OnEnqueue(r, now)
+	return true
+}
+
+func (c *Controller) scheduleCompletion(r *Request, at uint64) {
+	i := len(c.inflight)
+	c.inflight = append(c.inflight, completion{})
+	for i > 0 && c.inflight[i-1].at > at {
+		c.inflight[i] = c.inflight[i-1]
+		i--
+	}
+	c.inflight[i] = completion{at: at, req: r}
+}
+
+// Tick advances the controller by one cycle: completes finished
+// transfers, updates drain mode, asks the policy for a command, and
+// issues it (or a page-policy precharge when the bus is free).
+func (c *Controller) Tick(now uint64) {
+	// 1. Retire completed transfers.
+	for len(c.inflight) > 0 && c.inflight[0].at <= now {
+		done := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		if !done.req.Kind.IsWrite() {
+			c.Stats.ReadsServed++
+			c.Stats.ReadLatency.Add(done.at - done.req.Arrival)
+		} else {
+			c.Stats.WritesServed++
+		}
+		if done.req.OnDone != nil {
+			done.req.OnDone(now)
+		}
+		c.policy.OnComplete(done.req, now)
+	}
+
+	// 2. Queue-occupancy statistics.
+	c.Stats.ReadQ.Set(now, float64(len(c.readQ)))
+	c.Stats.WriteQ.Set(now, float64(len(c.writeQ)))
+
+	c.policy.Tick(now)
+
+	// 3. Drain-mode hysteresis (skipped for write-aware policies,
+	// which see both queues every cycle).
+	mixed := considersWrites(c.policy)
+	if !mixed {
+		if !c.writeMode && len(c.writeQ) >= c.cfg.WriteHi {
+			c.writeMode = true
+		} else if c.writeMode && len(c.writeQ) <= c.cfg.WriteLo {
+			c.writeMode = false
+		}
+	}
+
+	// 4. Build the option set and let the policy pick.
+	c.buildOptions(now, mixed)
+	issued := dram.Command{Kind: dram.CmdNop}
+	picked := -1
+	if len(c.view.Options) > 0 {
+		picked = c.policy.Pick(&c.view)
+		if picked >= len(c.view.Options) {
+			panic(fmt.Sprintf("memctrl: policy %s picked option %d of %d", c.policy.Name(), picked, len(c.view.Options)))
+		}
+	}
+	if picked >= 0 {
+		opt := c.view.Options[picked]
+		c.issue(now, opt)
+		issued = opt.Cmd
+	} else {
+		// 5. Idle cycle: give the page policy a chance to close rows.
+		if cmd, ok := c.tryPendingClose(now); ok {
+			issued = cmd
+		}
+	}
+	c.policy.OnIssue(&c.view, picked, issued, now)
+}
+
+// effectiveWriteMode reports whether the controller serves writes this
+// cycle: either drain mode, or opportunistically when no reads wait.
+func (c *Controller) effectiveWriteMode() bool {
+	return c.writeMode || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+}
+
+// buildOptions computes the set of legal commands for this cycle into
+// c.view, grouping queued requests by (rank, bank, row) and generating
+// at most one command per group.
+func (c *Controller) buildOptions(now uint64, mixed bool) {
+	c.optBuf = c.optBuf[:0]
+	for k := range c.groups {
+		delete(c.groups, k)
+	}
+	for k := range c.bankOldest {
+		delete(c.bankOldest, k)
+	}
+	c.gkOrder = c.gkOrder[:0]
+
+	collect := func(q []*Request) {
+		for _, r := range q {
+			k := groupKey{r.Loc.Rank, r.Loc.Bank, r.Loc.Row}
+			if prev, ok := c.groups[k]; !ok || r.ID < prev.ID {
+				if !ok {
+					c.gkOrder = append(c.gkOrder, k)
+				}
+				c.groups[k] = r
+			}
+			bk := r.Loc.Rank*c.ch.Geo.Banks + r.Loc.Bank
+			if prev, ok := c.bankOldest[bk]; !ok || r.ID < prev {
+				c.bankOldest[bk] = r.ID
+			}
+		}
+	}
+	var pendingHits int
+	if mixed {
+		collect(c.readQ)
+		collect(c.writeQ)
+		// Safety valve: when the write queue is nearly full, offer
+		// only write-advancing options so the policy cannot wedge the
+		// cache hierarchy.
+		if len(c.writeQ) >= c.cfg.WriteQueueCap-4 {
+			for k := range c.groups {
+				delete(c.groups, k)
+			}
+			for k := range c.bankOldest {
+				delete(c.bankOldest, k)
+			}
+			c.gkOrder = c.gkOrder[:0]
+			collect(c.writeQ)
+		}
+	} else if c.effectiveWriteMode() {
+		collect(c.writeQ)
+	} else {
+		collect(c.readQ)
+	}
+
+	for _, k := range c.gkOrder {
+		r := c.groups[k]
+		oldest := c.bankOldest[k.rank*c.ch.Geo.Banks+k.bank]
+		bank := c.ch.Bank(k.rank, k.bank)
+		switch {
+		case bank.State == dram.BankIdle:
+			cmd := dram.Command{Kind: dram.CmdActivate, Loc: r.Loc}
+			if c.ch.CanIssue(now, cmd) {
+				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
+			}
+		case bank.OpenRow == k.row:
+			pendingHits++
+			kind := dram.CmdRead
+			if r.Kind.IsWrite() {
+				kind = dram.CmdWrite
+			}
+			cmd := dram.Command{Kind: kind, Loc: r.Loc}
+			if c.ch.CanIssue(now, cmd) {
+				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, RowHit: true, BankOldestID: oldest})
+			}
+		default:
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: r.Loc}
+			if c.ch.CanIssue(now, cmd) {
+				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
+			}
+		}
+	}
+
+	c.view = View{
+		Now:            now,
+		Options:        c.optBuf,
+		ReadQLen:       len(c.readQ),
+		WriteQLen:      len(c.writeQ),
+		WriteMode:      c.effectiveWriteMode(),
+		PendingRowHits: pendingHits,
+		Channel:        c.ch.ID,
+		ReadQueue:      c.readQ,
+		WriteQueue:     c.writeQ,
+	}
+}
+
+// issue applies the chosen option and performs request/page-policy
+// bookkeeping.
+func (c *Controller) issue(now uint64, opt Option) {
+	loc := opt.Cmd.Loc
+	bankIdx := loc.Rank*c.ch.Geo.Banks + loc.Bank
+	switch opt.Cmd.Kind {
+	case dram.CmdActivate:
+		c.ch.Issue(now, opt.Cmd)
+		opt.Req.triggeredActivate = true
+		c.pendingClose[bankIdx] = false
+		c.page.OnActivate(loc)
+	case dram.CmdPrecharge:
+		bank := c.ch.Bank(loc.Rank, loc.Bank)
+		closed := dram.Location{Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank, Row: bank.OpenRow}
+		accesses := bank.RowAccesses()
+		c.ch.Issue(now, opt.Cmd)
+		opt.Req.triggeredConflict = true
+		c.pendingClose[bankIdx] = false
+		c.Stats.ConflictCloses++
+		c.page.OnRowClosed(closed, accesses, true)
+	case dram.CmdRead, dram.CmdWrite:
+		finish := c.ch.Issue(now, opt.Cmd)
+		c.classify(opt.Req)
+		c.removeRequest(opt.Req)
+		c.scheduleCompletion(opt.Req, finish)
+		// Consult the page policy with the post-access queue state.
+		same, other := c.pendingForRow(loc)
+		ctx := pagepolicy.CloseContext{
+			Loc:             loc,
+			Accesses:        c.ch.Bank(loc.Rank, loc.Bank).RowAccesses(),
+			PendingSameRow:  same,
+			PendingOtherRow: other,
+		}
+		c.pendingClose[bankIdx] = c.page.ShouldClose(ctx)
+	default:
+		panic(fmt.Sprintf("memctrl: cannot issue %v", opt.Cmd))
+	}
+}
+
+// classify files the row-buffer outcome of a column access.
+func (c *Controller) classify(r *Request) {
+	switch {
+	case r.triggeredConflict:
+		c.Stats.RowConflicts++
+	case r.triggeredActivate:
+		c.Stats.RowMisses++
+	default:
+		c.Stats.RowHits++
+	}
+}
+
+// pendingForRow counts queued requests that would hit loc's row (same)
+// and queued requests to the same bank needing another row (other).
+//
+// Writes count only while the controller is draining them: queued
+// writebacks wait thousands of cycles for the drain watermark, and
+// treating them as "pending work for another row" the whole time would
+// make the open-adaptive policy close every row immediately —
+// destroying precisely the speculative open-row hits it exists to
+// capture.
+func (c *Controller) pendingForRow(loc dram.Location) (same, other int) {
+	count := func(q []*Request) {
+		for _, r := range q {
+			if r.Loc.Rank != loc.Rank || r.Loc.Bank != loc.Bank {
+				continue
+			}
+			if r.Loc.Row == loc.Row {
+				same++
+			} else {
+				other++
+			}
+		}
+	}
+	count(c.readQ)
+	if c.effectiveWriteMode() || considersWrites(c.policy) {
+		count(c.writeQ)
+	}
+	return same, other
+}
+
+// tryPendingClose issues at most one page-policy precharge on an
+// otherwise idle command cycle, re-validating the decision against the
+// current queue state.
+func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
+	for rank := 0; rank < c.ch.Geo.Ranks; rank++ {
+		for bank := 0; bank < c.ch.Geo.Banks; bank++ {
+			idx := rank*c.ch.Geo.Banks + bank
+			if !c.pendingClose[idx] {
+				continue
+			}
+			b := c.ch.Bank(rank, bank)
+			if b.State != dram.BankActive {
+				c.pendingClose[idx] = false
+				continue
+			}
+			loc := dram.Location{Channel: c.ch.ID, Rank: rank, Bank: bank, Row: b.OpenRow}
+			same, other := c.pendingForRow(loc)
+			ctx := pagepolicy.CloseContext{
+				Loc:             loc,
+				Accesses:        b.RowAccesses(),
+				PendingSameRow:  same,
+				PendingOtherRow: other,
+			}
+			if !c.page.ShouldClose(ctx) {
+				c.pendingClose[idx] = false
+				continue
+			}
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: loc}
+			if !c.ch.CanIssue(now, cmd) {
+				continue // keep pending; retry next idle cycle
+			}
+			accesses := b.RowAccesses()
+			c.ch.Issue(now, cmd)
+			c.pendingClose[idx] = false
+			c.Stats.PolicyCloses++
+			c.page.OnRowClosed(loc, accesses, false)
+			return cmd, true
+		}
+	}
+	return dram.Command{Kind: dram.CmdNop}, false
+}
+
+// removeRequest deletes r from whichever queue holds it.
+func (c *Controller) removeRequest(r *Request) {
+	q := &c.readQ
+	if r.Kind.IsWrite() {
+		q = &c.writeQ
+	}
+	for i, x := range *q {
+		if x == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("memctrl: removing request not in queue")
+}
+
+// ResetStats zeroes the measurement counters (e.g. after warmup)
+// without disturbing queue or bank state. now re-anchors the
+// time-weighted trackers.
+func (c *Controller) ResetStats(now uint64) {
+	c.Stats = Stats{}
+	c.Stats.ReadQ.Set(now, float64(len(c.readQ)))
+	c.Stats.WriteQ.Set(now, float64(len(c.writeQ)))
+	c.ch.Stats = dram.Stats{}
+}

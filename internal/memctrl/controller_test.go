@@ -1,0 +1,321 @@
+package memctrl
+
+import (
+	"testing"
+
+	"cloudmc/internal/dram"
+	"cloudmc/internal/pagepolicy"
+)
+
+// frPolicy is a minimal FR-FCFS used to drive the controller in tests
+// without importing package sched (which would be an import cycle in
+// spirit: sched already imports memctrl).
+type frPolicy struct{}
+
+func (frPolicy) Name() string { return "test-frfcfs" }
+func (frPolicy) Pick(v *View) int {
+	best := -1
+	bestHit := false
+	for i := range v.Options {
+		o := &v.Options[i]
+		switch {
+		case best == -1, o.RowHit && !bestHit,
+			o.RowHit == bestHit && o.Req.ID < v.Options[best].Req.ID:
+			best = i
+			bestHit = o.RowHit
+		}
+	}
+	return best
+}
+func (frPolicy) OnEnqueue(*Request, uint64)               {}
+func (frPolicy) OnComplete(*Request, uint64)              {}
+func (frPolicy) OnIssue(*View, int, dram.Command, uint64) {}
+func (frPolicy) Tick(uint64)                              {}
+
+// idlePolicy never issues anything; used to observe queue state.
+type idlePolicy struct{ frPolicy }
+
+func (idlePolicy) Pick(*View) int { return -1 }
+
+func testController(t *testing.T, policy Policy, page pagepolicy.Policy) *Controller {
+	t.Helper()
+	geo := dram.Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 1 << 10, Columns: 32, BlockBytes: 64}
+	ch := dram.NewChannel(0, geo, dram.DDR3_1600())
+	ctl, err := New(DefaultConfig(), ch, policy, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func rloc(rank, bank, row, col int) dram.Location {
+	return dram.Location{Channel: 0, Rank: rank, Bank: bank, Row: row, Column: col}
+}
+
+// addrFor synthesizes a unique address per location for queue lookups.
+func addrFor(l dram.Location) uint64 {
+	return uint64(l.Rank)<<40 | uint64(l.Bank)<<32 | uint64(l.Row)<<16 | uint64(l.Column)<<6
+}
+
+func runCycles(ctl *Controller, from, to uint64) uint64 {
+	for now := from; now < to; now++ {
+		ctl.Tick(now)
+	}
+	return to
+}
+
+func TestReadCompletesWithCallback(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpenAdaptive())
+	var doneAt uint64
+	l := rloc(0, 0, 3, 1)
+	if !ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, func(at uint64) { doneAt = at }) {
+		t.Fatal("enqueue failed")
+	}
+	runCycles(ctl, 0, 300)
+	if doneAt == 0 {
+		t.Fatal("read never completed")
+	}
+	if ctl.Stats.ReadsServed != 1 {
+		t.Fatalf("reads served = %d", ctl.Stats.ReadsServed)
+	}
+	if ctl.Stats.RowMisses != 1 || ctl.Stats.RowHits != 0 {
+		t.Fatalf("classification: hits=%d misses=%d conflicts=%d",
+			ctl.Stats.RowHits, ctl.Stats.RowMisses, ctl.Stats.RowConflicts)
+	}
+	// Latency must cover activate + CAS + burst at minimum.
+	tim := ctl.Channel().Tim
+	min := uint64(tim.RCD + tim.CAS + tim.Burst)
+	if got := uint64(ctl.Stats.ReadLatency.Mean()); got < min {
+		t.Fatalf("latency %d below device minimum %d", got, min)
+	}
+}
+
+func TestRowHitClassification(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
+	l1 := rloc(0, 0, 3, 1)
+	l2 := rloc(0, 0, 3, 2) // same row: should hit
+	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
+	ctl.EnqueueRead(0, 2, addrFor(l2), l2, ReadDemand, nil)
+	runCycles(ctl, 0, 400)
+	if ctl.Stats.RowHits != 1 || ctl.Stats.RowMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", ctl.Stats.RowHits, ctl.Stats.RowMisses)
+	}
+}
+
+func TestRowConflictClassification(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
+	l1 := rloc(0, 0, 3, 1)
+	l2 := rloc(0, 0, 9, 2) // same bank, different row: conflict
+	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
+	runCycles(ctl, 0, 100)
+	ctl.EnqueueRead(100, 2, addrFor(l2), l2, ReadDemand, nil)
+	runCycles(ctl, 100, 500)
+	if ctl.Stats.RowConflicts != 1 {
+		t.Fatalf("conflicts=%d (hits=%d misses=%d)",
+			ctl.Stats.RowConflicts, ctl.Stats.RowHits, ctl.Stats.RowMisses)
+	}
+}
+
+func TestWriteForwardingServesReadFromWriteQueue(t *testing.T) {
+	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
+	l := rloc(0, 1, 5, 0)
+	addr := addrFor(l)
+	ctl.EnqueueWrite(0, 1, addr, l, nil)
+	var done bool
+	ctl.EnqueueRead(1, 2, addr, l, ReadDemand, func(uint64) { done = true })
+	runCycles(ctl, 0, 20)
+	if !done {
+		t.Fatal("forwarded read not completed")
+	}
+	if ctl.Stats.ForwardedReads != 1 {
+		t.Fatalf("forwarded = %d", ctl.Stats.ForwardedReads)
+	}
+	if r, _ := ctl.QueueLens(); r != 0 {
+		t.Fatal("forwarded read should not occupy the read queue")
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
+	l := rloc(0, 1, 5, 0)
+	ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
+	ctl.EnqueueWrite(1, 1, addrFor(l), l, nil)
+	if _, w := ctl.QueueLens(); w != 1 {
+		t.Fatalf("write queue = %d, want 1 (coalesced)", w)
+	}
+}
+
+func TestBackpressureWhenReadQueueFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadQueueCap = 4
+	geo := dram.Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 1 << 10, Columns: 32, BlockBytes: 64}
+	ch := dram.NewChannel(0, geo, dram.DDR3_1600())
+	ctl, err := New(cfg, ch, idlePolicy{}, pagepolicy.NewOpenAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		l := rloc(0, 0, i+1, 0)
+		if !ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil) {
+			t.Fatalf("enqueue %d rejected early", i)
+		}
+	}
+	l := rloc(0, 0, 9, 0)
+	if ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil) {
+		t.Fatal("enqueue accepted beyond capacity")
+	}
+	if ctl.Stats.EnqueueFailures != 1 {
+		t.Fatalf("failures = %d", ctl.Stats.EnqueueFailures)
+	}
+}
+
+func TestWriteDrainHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteHi = 8
+	cfg.WriteLo = 2
+	geo := dram.Geometry{Channels: 1, Ranks: 2, Banks: 4, Rows: 1 << 10, Columns: 32, BlockBytes: 64}
+	ch := dram.NewChannel(0, geo, dram.DDR3_1600())
+	ctl, err := New(cfg, ch, frPolicy{}, pagepolicy.NewCloseAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep a steady read supply and push writes past the watermark.
+	for i := 0; i < 8; i++ {
+		l := rloc(0, i%4, 100+i, 0)
+		ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
+	}
+	runCycles(ctl, 0, 2000)
+	if ctl.Stats.WritesServed < 6 {
+		t.Fatalf("writes served = %d, drain did not engage", ctl.Stats.WritesServed)
+	}
+	if _, w := ctl.QueueLens(); w > cfg.WriteLo {
+		t.Fatalf("write queue %d above low watermark after drain", w)
+	}
+}
+
+func TestOpportunisticWriteDrainWhenIdle(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpenAdaptive())
+	l := rloc(1, 2, 7, 0)
+	ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
+	runCycles(ctl, 0, 400)
+	if ctl.Stats.WritesServed != 1 {
+		t.Fatal("idle controller did not drain the lone write")
+	}
+}
+
+func TestPagePolicyCloseIsCounted(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewClose())
+	l := rloc(0, 0, 3, 1)
+	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	runCycles(ctl, 0, 500)
+	if ctl.Stats.PolicyCloses != 1 {
+		t.Fatalf("policy closes = %d, want 1", ctl.Stats.PolicyCloses)
+	}
+	// The bank must be idle again.
+	if _, open := ctl.Channel().OpenRow(0, 0); open {
+		t.Fatal("row left open under close-page policy")
+	}
+}
+
+func TestOpenPolicyLeavesRowOpen(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
+	l := rloc(0, 0, 3, 1)
+	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	runCycles(ctl, 0, 500)
+	row, open := ctl.Channel().OpenRow(0, 0)
+	if !open || row != 3 {
+		t.Fatalf("row state = (%d, %v), want (3, true)", row, open)
+	}
+	if ctl.Stats.PolicyCloses != 0 {
+		t.Fatal("open policy precharged proactively")
+	}
+}
+
+func TestPendingCloseCancelledBySameRowArrival(t *testing.T) {
+	// Under close-adaptive, a same-row request arriving before the
+	// precharge becomes legal must cancel the close and be served as a
+	// row hit.
+	ctl := testController(t, frPolicy{}, pagepolicy.NewCloseAdaptive())
+	l1 := rloc(0, 0, 3, 1)
+	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
+	// Run just past the column access; tRTP has not elapsed.
+	tim := ctl.Channel().Tim
+	colAt := uint64(tim.RCD) + 2
+	runCycles(ctl, 0, colAt+1)
+	l2 := rloc(0, 0, 3, 2)
+	ctl.EnqueueRead(colAt+1, 2, addrFor(l2), l2, ReadDemand, nil)
+	runCycles(ctl, colAt+1, 600)
+	if ctl.Stats.RowHits != 1 {
+		t.Fatalf("hits = %d; pending close was not cancelled", ctl.Stats.RowHits)
+	}
+}
+
+func TestQueueLengthStats(t *testing.T) {
+	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
+	for i := 0; i < 4; i++ {
+		l := rloc(0, 0, i+1, 0)
+		ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	}
+	runCycles(ctl, 0, 100)
+	if got := ctl.Stats.ReadQ.Average(100); got < 3.9 {
+		t.Fatalf("read queue average = %f, want ~4", got)
+	}
+}
+
+func TestResetStatsPreservesQueueState(t *testing.T) {
+	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
+	l := rloc(0, 0, 1, 0)
+	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	runCycles(ctl, 0, 50)
+	ctl.ResetStats(50)
+	if r, _ := ctl.QueueLens(); r != 1 {
+		t.Fatal("reset dropped queued request")
+	}
+	if ctl.Stats.ReadsServed != 0 {
+		t.Fatal("reset kept counters")
+	}
+}
+
+func TestRequestAge(t *testing.T) {
+	r := Request{Arrival: 100}
+	if r.Age(150) != 50 || r.Age(50) != 0 {
+		t.Fatal("age arithmetic wrong")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.WriteLo = bad.WriteHi
+	if err := bad.Validate(); err == nil {
+		t.Fatal("WriteLo >= WriteHi accepted")
+	}
+	bad = good
+	bad.ReadQueueCap = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero read queue accepted")
+	}
+	bad = good
+	bad.WriteHi = bad.WriteQueueCap + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("WriteHi above capacity accepted")
+	}
+}
+
+func TestViewOldestOption(t *testing.T) {
+	v := &View{Options: []Option{
+		{Req: &Request{ID: 5}},
+		{Req: &Request{ID: 2}},
+		{Req: &Request{ID: 9}},
+	}}
+	if got := v.OldestOption(); got != 1 {
+		t.Fatalf("oldest = %d, want 1", got)
+	}
+	empty := &View{}
+	if empty.OldestOption() != -1 {
+		t.Fatal("empty view should return -1")
+	}
+}

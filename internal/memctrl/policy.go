@@ -1,0 +1,98 @@
+package memctrl
+
+import "cloudmc/internal/dram"
+
+// Option is one issuable command the controller offers to the
+// scheduling policy this cycle. Every option is legal under DRAM
+// timing when offered.
+type Option struct {
+	// Cmd is the DRAM command.
+	Cmd dram.Command
+	// Req is the queued request this command advances. For a
+	// PRECHARGE generated to resolve a row conflict, Req is the
+	// conflicting (waiting) request, not the one that opened the row.
+	Req *Request
+	// RowHit reports that Cmd is a column access to an already-open
+	// row.
+	RowHit bool
+	// BankOldestID is the ID of the oldest request (in the set the
+	// controller considered this cycle) targeting the same bank as
+	// Cmd. FCFS-style policies use it to enforce per-bank arrival
+	// order.
+	BankOldestID uint64
+}
+
+// View is the controller state a scheduling policy sees when asked to
+// pick a command.
+type View struct {
+	// Now is the current cycle.
+	Now uint64
+	// Options are the legal commands this cycle. Policies must either
+	// return an index into this slice or -1 (issue nothing).
+	Options []Option
+	// ReadQLen and WriteQLen are the current queue occupancies.
+	ReadQLen, WriteQLen int
+	// WriteMode reports that the controller is draining writes.
+	WriteMode bool
+	// PendingRowHits is the number of queued requests (both queues)
+	// whose target row is currently open.
+	PendingRowHits int
+	// Channel identifies the controller's channel.
+	Channel int
+	// ReadQueue and WriteQueue expose the controller's queues in
+	// arrival order. Policies must treat them as read-only; they are
+	// valid only for the duration of the Pick call. Policies that need
+	// whole-queue visibility (PAR-BS batching) use these.
+	ReadQueue, WriteQueue []*Request
+}
+
+// OldestOption returns the index of the option whose request is
+// oldest, or -1 if there are no options. Policies use it as a common
+// building block and as the starvation fallback.
+func (v *View) OldestOption() int {
+	best := -1
+	for i := range v.Options {
+		if best == -1 || v.Options[i].Req.ID < v.Options[best].Req.ID {
+			best = i
+		}
+	}
+	return best
+}
+
+// Policy is a memory scheduling algorithm. The controller computes the
+// set of legal commands (Options) each decision cycle; the policy
+// chooses among them. Request-level algorithms (FCFS, FR-FCFS, PAR-BS,
+// ATLAS) rank options by their associated request; the RL scheduler
+// values each command directly.
+type Policy interface {
+	// Name returns the algorithm name used in reports.
+	Name() string
+	// Pick returns the index of the option to issue, or -1 to issue
+	// nothing this cycle.
+	Pick(v *View) int
+	// OnEnqueue is called when a request enters a queue.
+	OnEnqueue(r *Request, now uint64)
+	// OnComplete is called when a request's data transfer completes.
+	OnComplete(r *Request, now uint64)
+	// OnIssue is called after the controller issues the picked
+	// command; issued reports what was actually sent (it may be a
+	// forced write-drain command rather than the policy's pick).
+	OnIssue(v *View, picked int, issued dram.Command, now uint64)
+	// Tick is called once per controller cycle before Pick, for
+	// policies with time-based state (ATLAS quanta, RL exploration).
+	Tick(now uint64)
+}
+
+// WriteAware is implemented by policies that schedule writes as
+// first-class actions (the RL scheduler). For such policies the
+// controller offers read and write options together every cycle
+// instead of alternating between read mode and write-drain mode.
+type WriteAware interface {
+	ConsidersWrites() bool
+}
+
+// considersWrites reports whether p opts into mixed read/write views.
+func considersWrites(p Policy) bool {
+	wa, ok := p.(WriteAware)
+	return ok && wa.ConsidersWrites()
+}

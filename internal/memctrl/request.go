@@ -1,0 +1,82 @@
+// Package memctrl implements the per-channel memory controller: the
+// read and write request queues, write-drain mode, command generation
+// under DRAM timing legality, page-management hooks, and the
+// scheduling-policy interface that the algorithms in package sched
+// implement.
+package memctrl
+
+import (
+	"fmt"
+
+	"cloudmc/internal/dram"
+)
+
+// RequestKind distinguishes the traffic classes the controller sees.
+type RequestKind uint8
+
+const (
+	// ReadDemand is a load-miss read; a core is stalled on it.
+	ReadDemand RequestKind = iota
+	// ReadStore is a store-miss (write-allocate) line fill.
+	ReadStore
+	// ReadPrefetch is a non-demand read (the DMA/IO agent uses it).
+	ReadPrefetch
+	// WriteBack is a dirty-line eviction or DMA write.
+	WriteBack
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case ReadDemand:
+		return "load-read"
+	case ReadStore:
+		return "store-read"
+	case ReadPrefetch:
+		return "prefetch"
+	case WriteBack:
+		return "write"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", uint8(k))
+	}
+}
+
+// IsWrite reports whether the request occupies the write queue.
+func (k RequestKind) IsWrite() bool { return k == WriteBack }
+
+// Request is one memory transaction queued at a controller.
+type Request struct {
+	// ID is unique per controller, assigned at enqueue, and increases
+	// in arrival order; policies use it as a stable age tie-breaker.
+	ID uint64
+	// Core is the requesting core (or -1 for DMA/IO traffic).
+	Core int
+	// Addr is the physical block address.
+	Addr uint64
+	// Loc is the decoded DRAM coordinate of Addr.
+	Loc dram.Location
+	// Kind classifies the request.
+	Kind RequestKind
+	// Arrival is the cycle the request entered the controller.
+	Arrival uint64
+
+	// OnDone, if non-nil, is invoked when the request's data transfer
+	// completes (reads: data arrived; writes: data written).
+	OnDone func(now uint64)
+
+	// triggeredActivate records that this request caused a row
+	// activation, i.e. it is a row miss for hit-rate accounting.
+	triggeredActivate bool
+	// triggeredConflict records that this request required closing
+	// another row first.
+	triggeredConflict bool
+	// Batched marks PAR-BS batch membership (owned by the policy).
+	Batched bool
+}
+
+// Age returns how long the request has been waiting at cycle now.
+func (r *Request) Age(now uint64) uint64 {
+	if now < r.Arrival {
+		return 0
+	}
+	return now - r.Arrival
+}

@@ -1,0 +1,171 @@
+package pagepolicy
+
+import (
+	"testing"
+
+	"cloudmc/internal/dram"
+)
+
+func ctx(pendingSame, pendingOther, accesses int) CloseContext {
+	return CloseContext{
+		Loc:             dram.Location{Rank: 0, Bank: 0, Row: 7},
+		Accesses:        accesses,
+		PendingSameRow:  pendingSame,
+		PendingOtherRow: pendingOther,
+	}
+}
+
+func TestOpenNeverCloses(t *testing.T) {
+	p := NewOpen()
+	if p.ShouldClose(ctx(0, 5, 1)) || p.ShouldClose(ctx(0, 0, 10)) {
+		t.Fatal("open policy closed a row")
+	}
+}
+
+func TestCloseAlwaysCloses(t *testing.T) {
+	p := NewClose()
+	if !p.ShouldClose(ctx(3, 0, 1)) {
+		t.Fatal("close policy kept a row open under pending hits")
+	}
+}
+
+func TestOpenAdaptiveRules(t *testing.T) {
+	p := NewOpenAdaptive()
+	if p.ShouldClose(ctx(1, 3, 1)) {
+		t.Fatal("OAPM closed with pending same-row work")
+	}
+	if p.ShouldClose(ctx(0, 0, 1)) {
+		t.Fatal("OAPM closed with no pending other-row work")
+	}
+	if !p.ShouldClose(ctx(0, 2, 1)) {
+		t.Fatal("OAPM kept row open against pending other-row work")
+	}
+}
+
+func TestCloseAdaptiveRules(t *testing.T) {
+	p := NewCloseAdaptive()
+	if p.ShouldClose(ctx(1, 0, 1)) {
+		t.Fatal("CAPM closed with pending same-row work")
+	}
+	if !p.ShouldClose(ctx(0, 0, 1)) {
+		t.Fatal("CAPM kept an idle row open")
+	}
+}
+
+func TestRBPPClosesUntrackedRowsImmediately(t *testing.T) {
+	p := NewRBPP(4)
+	if !p.ShouldClose(ctx(0, 0, 1)) {
+		t.Fatal("RBPP kept an untracked row open")
+	}
+	if p.ShouldClose(ctx(2, 0, 1)) {
+		t.Fatal("RBPP closed under pending same-row work")
+	}
+}
+
+func TestRBPPTracksRowsWithHits(t *testing.T) {
+	p := NewRBPP(4)
+	loc := dram.Location{Rank: 0, Bank: 0, Row: 7}
+	// The row closes having served 4 accesses (3 hits): it earns a
+	// register predicting 3 hits.
+	p.OnRowClosed(loc, 4, false)
+	// Next activation: with only 2 accesses so far, keep open.
+	if p.ShouldClose(CloseContext{Loc: loc, Accesses: 2}) {
+		t.Fatal("RBPP closed before predicted hits were served")
+	}
+	// At 4 accesses the prediction is met: close.
+	if !p.ShouldClose(CloseContext{Loc: loc, Accesses: 4}) {
+		t.Fatal("RBPP kept row open past its prediction")
+	}
+}
+
+func TestRBPPDropsRowsThatStopHitting(t *testing.T) {
+	p := NewRBPP(4)
+	loc := dram.Location{Rank: 0, Bank: 0, Row: 7}
+	p.OnRowClosed(loc, 4, false) // tracked
+	p.OnRowClosed(loc, 1, true)  // single access: register revoked
+	if !p.ShouldClose(CloseContext{Loc: loc, Accesses: 1}) {
+		t.Fatal("revoked row still treated as tracked")
+	}
+}
+
+func TestRBPPEvictsLRURegister(t *testing.T) {
+	p := NewRBPP(2)
+	mk := func(row int) dram.Location { return dram.Location{Rank: 0, Bank: 0, Row: row} }
+	p.OnRowClosed(mk(1), 3, false)
+	p.OnRowClosed(mk(2), 3, false)
+	// Touch row 1 so row 2 is LRU, then insert row 3.
+	p.lookup(mk(1))
+	p.OnRowClosed(mk(3), 5, false)
+	if _, tracked := p.lookup(mk(2)); tracked {
+		t.Fatal("LRU register not evicted")
+	}
+	if _, tracked := p.lookup(mk(1)); !tracked {
+		t.Fatal("recently used register evicted")
+	}
+	if hits, tracked := p.lookup(mk(3)); !tracked || hits != 4 {
+		t.Fatalf("new register = (%d, %v), want (4, true)", hits, tracked)
+	}
+}
+
+func TestABPPStaysOpenWithoutHistory(t *testing.T) {
+	p := NewABPP(4)
+	if p.ShouldClose(ctx(0, 5, 1)) {
+		t.Fatal("ABPP closed a row with no table entry")
+	}
+}
+
+func TestABPPFollowsLastActivationHits(t *testing.T) {
+	p := NewABPP(4)
+	loc := dram.Location{Rank: 0, Bank: 0, Row: 9}
+	p.OnRowClosed(loc, 3, false) // 2 hits last time
+	if p.ShouldClose(CloseContext{Loc: loc, Accesses: 2}) {
+		t.Fatal("ABPP closed before predicted hits")
+	}
+	if !p.ShouldClose(CloseContext{Loc: loc, Accesses: 3}) {
+		t.Fatal("ABPP kept row open past prediction")
+	}
+}
+
+func TestABPPRecordsZeroHitActivations(t *testing.T) {
+	p := NewABPP(4)
+	loc := dram.Location{Rank: 0, Bank: 0, Row: 9}
+	p.OnRowClosed(loc, 1, true) // single access, conflict close
+	// Prediction is now zero hits: close right after the first access.
+	if !p.ShouldClose(CloseContext{Loc: loc, Accesses: 1}) {
+		t.Fatal("ABPP ignored its zero-hit history")
+	}
+}
+
+func TestABPPNeverClosesUnderPendingHits(t *testing.T) {
+	p := NewABPP(4)
+	loc := dram.Location{Rank: 0, Bank: 0, Row: 9}
+	p.OnRowClosed(loc, 1, true)
+	if p.ShouldClose(CloseContext{Loc: loc, Accesses: 1, PendingSameRow: 1}) {
+		t.Fatal("ABPP closed under a pending row hit")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Open", "Close", "OpenAdaptive", "CloseAdaptive", "RBPP", "ABPP"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, ok := ByName("Bogus"); ok {
+		t.Fatal("bogus policy name accepted")
+	}
+}
+
+func TestPoliciesAreIndependentPerBank(t *testing.T) {
+	p := NewRBPP(2)
+	a := dram.Location{Rank: 0, Bank: 0, Row: 5}
+	b := dram.Location{Rank: 0, Bank: 1, Row: 5} // same row id, other bank
+	p.OnRowClosed(a, 4, false)
+	if _, tracked := p.lookup(b); tracked {
+		t.Fatal("register leaked across banks")
+	}
+}

@@ -1,0 +1,155 @@
+// Package sched implements the memory scheduling algorithms the paper
+// evaluates (§2.1, §4.1): FCFS_Banks, FR-FCFS, PAR-BS, ATLAS, and the
+// reinforcement-learning (RL) scheduler. All satisfy memctrl.Policy.
+//
+// Multi-channel systems need one policy instance per controller, but
+// ATLAS ranks cores by service attained across *all* controllers; use
+// NewFactory to build per-channel instances that share the required
+// state.
+package sched
+
+import (
+	"fmt"
+
+	"cloudmc/internal/memctrl"
+)
+
+// Kind enumerates the studied algorithms.
+type Kind uint8
+
+const (
+	// FCFSBanks services each bank's requests strictly in arrival
+	// order, exploiting bank-level parallelism only.
+	FCFSBanks Kind = iota
+	// FRFCFS is the baseline first-ready first-come-first-served
+	// algorithm: row hits first, then oldest.
+	FRFCFS
+	// PARBS is parallelism-aware batch scheduling.
+	PARBS
+	// ATLAS is adaptive per-thread least-attained-service scheduling.
+	ATLAS
+	// RL is the reinforcement-learning self-optimizing scheduler.
+	RL
+)
+
+// Kinds lists the algorithms in the order the paper's figures plot
+// them.
+var Kinds = []Kind{FRFCFS, FCFSBanks, PARBS, ATLAS, RL}
+
+var kindNames = map[Kind]string{
+	FCFSBanks: "FCFS_Banks",
+	FRFCFS:    "FR-FCFS",
+	PARBS:     "PAR-BS",
+	ATLAS:     "ATLAS",
+	RL:        "RL",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind converts an algorithm name (as printed by String) back to
+// its Kind.
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown scheduling algorithm %q", name)
+}
+
+// Factory builds one policy instance per memory channel. Instances
+// returned by the same Factory share cross-channel state where the
+// algorithm requires it (ATLAS).
+type Factory func(channel int) memctrl.Policy
+
+// Opts parameterizes policy construction. Zero-valued sub-configs
+// select the paper's Table 3 defaults.
+type Opts struct {
+	// Cores is the number of cores in the system (requests from DMA
+	// agents with core ID -1 are folded into an extra slot).
+	Cores int
+	// Seed feeds the RL scheduler's exploration stream.
+	Seed uint64
+	// ATLAS, PARBS and RL override algorithm parameters. The paper's
+	// ATLAS quantum is 10M cycles against multi-billion-cycle samples;
+	// studies with compressed measurement windows must scale
+	// QuantumCycles and StarvationThreshold accordingly.
+	ATLAS ATLASConfig
+	PARBS PARBSConfig
+	RL    RLConfig
+}
+
+func (o Opts) atlas() ATLASConfig {
+	if o.ATLAS.QuantumCycles == 0 {
+		return DefaultATLASConfig()
+	}
+	return o.ATLAS
+}
+
+func (o Opts) parbs() PARBSConfig {
+	if o.PARBS.BatchingCap == 0 {
+		return DefaultPARBSConfig()
+	}
+	return o.PARBS
+}
+
+func (o Opts) rl() RLConfig {
+	if o.RL.Tables == 0 {
+		return DefaultRLConfig()
+	}
+	return o.RL
+}
+
+// NewFactory returns a Factory for the given algorithm with default
+// parameters.
+func NewFactory(kind Kind, cores int, seed uint64) Factory {
+	return NewFactoryOpts(kind, Opts{Cores: cores, Seed: seed})
+}
+
+// NewFactoryOpts returns a Factory with explicit parameters.
+func NewFactoryOpts(kind Kind, opts Opts) Factory {
+	switch kind {
+	case FCFSBanks:
+		return func(int) memctrl.Policy { return NewFCFSBanks() }
+	case FRFCFS:
+		return func(int) memctrl.Policy { return NewFRFCFS() }
+	case PARBS:
+		return func(int) memctrl.Policy { return NewPARBS(opts.parbs(), opts.Cores) }
+	case ATLAS:
+		tracker := NewServiceTracker(opts.Cores, opts.atlas())
+		return func(int) memctrl.Policy { return NewATLAS(opts.atlas(), tracker) }
+	case RL:
+		return func(channel int) memctrl.Policy {
+			return NewRL(opts.rl(), opts.Seed+uint64(channel)*0x9e3779b97f4a7c15)
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown kind %d", uint8(kind)))
+	}
+}
+
+// coreSlot maps a request's core ID into a dense slot index, folding
+// DMA traffic (core -1) into the last slot.
+func coreSlot(core, cores int) int {
+	if core < 0 || core >= cores {
+		return cores
+	}
+	return core
+}
+
+// noHooks provides no-op hook implementations for policies without
+// enqueue/complete/issue state.
+type noHooks struct{}
+
+// OnEnqueue implements memctrl.Policy.
+func (noHooks) OnEnqueue(*memctrl.Request, uint64) {}
+
+// OnComplete implements memctrl.Policy.
+func (noHooks) OnComplete(*memctrl.Request, uint64) {}
+
+// Tick implements memctrl.Policy.
+func (noHooks) Tick(uint64) {}

@@ -1,0 +1,253 @@
+// Package stats provides the small statistics primitives the simulator
+// uses: running means, time-weighted averages for queue occupancies,
+// and histograms for latencies and row-activation reuse.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean accumulates a running arithmetic mean.
+type Mean struct {
+	sum   float64
+	count uint64
+}
+
+// Add folds one sample into the mean.
+func (m *Mean) Add(v float64) {
+	m.sum += v
+	m.count++
+}
+
+// AddN folds n identical samples into the mean.
+func (m *Mean) AddN(v float64, n uint64) {
+	m.sum += v * float64(n)
+	m.count += n
+}
+
+// Value returns the current mean (0 if no samples).
+func (m *Mean) Value() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Count returns the number of samples.
+func (m *Mean) Count() uint64 { return m.count }
+
+// TimeWeighted tracks a piecewise-constant value over simulated time
+// and reports its time-weighted average — used for queue lengths
+// (paper Figures 5 and 6).
+type TimeWeighted struct {
+	startCycle uint64
+	lastCycle  uint64
+	lastValue  float64
+	area       float64
+	started    bool
+}
+
+// Set records that the tracked value changed to v at the given cycle.
+// Cycles must be non-decreasing. The first Set anchors the averaging
+// window.
+func (t *TimeWeighted) Set(cycle uint64, v float64) {
+	if t.started && cycle > t.lastCycle {
+		t.area += t.lastValue * float64(cycle-t.lastCycle)
+	}
+	if !t.started {
+		t.started = true
+		t.startCycle = cycle
+	}
+	t.lastCycle = cycle
+	t.lastValue = v
+}
+
+// Average closes the window at endCycle and returns the time-weighted
+// average since the first Set.
+func (t *TimeWeighted) Average(endCycle uint64) float64 {
+	if !t.started || endCycle <= t.startCycle {
+		return 0
+	}
+	area := t.area
+	if endCycle > t.lastCycle {
+		area += t.lastValue * float64(endCycle-t.lastCycle)
+	}
+	return area / float64(endCycle-t.startCycle)
+}
+
+// Histogram is a fixed-bucket histogram over small non-negative
+// integers with a saturating overflow bucket.
+type Histogram struct {
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with buckets [0, n) plus an
+// overflow bucket at n.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{buckets: make([]uint64, n+1)}
+}
+
+// Add files one observation of value v.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns the number of observations of exactly v (overflow
+// bucket for v >= size).
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns Count(v)/Total.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// LatencyHist is a power-of-two bucketed latency histogram: bucket i
+// covers [2^i, 2^(i+1)). It reports mean and quantiles cheaply without
+// storing samples.
+type LatencyHist struct {
+	buckets [40]uint64
+	sum     uint64
+	count   uint64
+	max     uint64
+}
+
+// Add files one latency sample (in cycles).
+func (l *LatencyHist) Add(cycles uint64) {
+	i := 0
+	for v := cycles; v > 1 && i < len(l.buckets)-1; v >>= 1 {
+		i++
+	}
+	l.buckets[i]++
+	l.sum += cycles
+	l.count++
+	if cycles > l.max {
+		l.max = cycles
+	}
+}
+
+// Mean returns the mean latency.
+func (l *LatencyHist) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.sum) / float64(l.count)
+}
+
+// Count returns the number of samples.
+func (l *LatencyHist) Count() uint64 { return l.count }
+
+// Max returns the largest sample.
+func (l *LatencyHist) Max() uint64 { return l.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1)
+// using bucket upper edges.
+func (l *LatencyHist) Quantile(q float64) uint64 {
+	if l.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(l.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range l.buckets {
+		cum += b
+		if cum >= target {
+			return 1 << uint(i+1)
+		}
+	}
+	return l.max
+}
+
+// String renders the non-empty buckets, for debugging.
+func (l *LatencyHist) String() string {
+	var sb strings.Builder
+	for i, b := range l.buckets {
+		if b == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "[%d,%d): %d\n", 1<<uint(i), 1<<uint(i+1), b)
+	}
+	return sb.String()
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of vs, ignoring non-positive
+// entries. It returns 0 for an empty input.
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// ArithMean returns the arithmetic mean of vs (0 for empty input).
+// The paper's Avg_SCO/Avg_TRS/Avg_DSP bars are arithmetic means of the
+// normalized per-workload values.
+func ArithMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Median returns the median of vs (0 for empty input).
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.Count() != 2 {
+		t.Fatalf("mean = %f count=%d", m.Value(), m.Count())
+	}
+	m.AddN(3, 2)
+	if m.Value() != 3 || m.Count() != 4 {
+		t.Fatalf("after AddN: mean = %f count=%d", m.Value(), m.Count())
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 5)
+	if got := tw.Average(100); got != 5 {
+		t.Fatalf("constant average = %f, want 5", got)
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Set(50, 10)
+	if got := tw.Average(100); got != 5 {
+		t.Fatalf("step average = %f, want 5", got)
+	}
+}
+
+func TestTimeWeightedAnchoredStart(t *testing.T) {
+	// A tracker re-anchored mid-run (post-warmup reset) must average
+	// over its own window only.
+	var tw TimeWeighted
+	tw.Set(1000, 4)
+	if got := tw.Average(2000); got != 4 {
+		t.Fatalf("anchored average = %f, want 4", got)
+	}
+	if got := tw.Average(1000); got != 0 {
+		t.Fatalf("empty window = %f, want 0", got)
+	}
+}
+
+func TestTimeWeightedIdempotentSets(t *testing.T) {
+	var tw TimeWeighted
+	for c := uint64(0); c < 10; c++ {
+		tw.Set(c, 7)
+	}
+	if got := tw.Average(10); got != 7 {
+		t.Fatalf("repeated sets average = %f, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(8)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(100) // overflow bucket
+	h.Add(-5)  // clamps to 0
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(8) != 1 || h.Count(0) != 1 {
+		t.Fatalf("unexpected counts: %d %d %d %d", h.Count(1), h.Count(3), h.Count(8), h.Count(0))
+	}
+	if got := h.Fraction(1); got != 0.4 {
+		t.Fatalf("fraction = %f", got)
+	}
+	if h.Count(100) != 0 {
+		t.Fatal("out-of-range count not zero")
+	}
+}
+
+func TestLatencyHistMean(t *testing.T) {
+	var l LatencyHist
+	for _, v := range []uint64{10, 20, 30} {
+		l.Add(v)
+	}
+	if l.Mean() != 20 || l.Count() != 3 || l.Max() != 30 {
+		t.Fatalf("mean=%f count=%d max=%d", l.Mean(), l.Count(), l.Max())
+	}
+}
+
+func TestLatencyHistQuantileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var l LatencyHist
+		for _, v := range raw {
+			l.Add(uint64(v))
+		}
+		if len(raw) == 0 {
+			return l.Quantile(0.5) == 0
+		}
+		q50, q90, q99 := l.Quantile(0.5), l.Quantile(0.9), l.Quantile(0.99)
+		return q50 <= q90 && q90 <= q99
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistQuantileBounds(t *testing.T) {
+	var l LatencyHist
+	l.Add(100)
+	// Quantile returns a bucket upper bound >= the sample.
+	if q := l.Quantile(1.0); q < 100 {
+		t.Fatalf("q100 = %d < sample", q)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(4, 0) != 0 {
+		t.Fatal("zero denominator should give 0")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	vs := []float64{1, 2, 4}
+	if got := ArithMean(vs); math.Abs(got-7.0/3) > 1e-12 {
+		t.Fatalf("arith = %f", got)
+	}
+	if got := GeoMean(vs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geo = %f", got)
+	}
+	if got := Median(vs); got != 2 {
+		t.Fatalf("median = %f", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median = %f", got)
+	}
+	if ArithMean(nil) != 0 || GeoMean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+}
+
+func TestGeoMeanIgnoresNonPositive(t *testing.T) {
+	if got := GeoMean([]float64{2, 0, -3, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geo with junk = %f, want 4", got)
+	}
+}

@@ -1,0 +1,266 @@
+package workload
+
+// rng is a deterministic xorshift64* generator; the simulator cannot
+// use math/rand's global state because runs must be reproducible per
+// (workload, configuration, seed).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform integer in [0,n).
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// geometric returns a sample with mean m (>=1).
+func (r *rng) geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for r.float() > p && n < 1024 {
+		n++
+	}
+	return n
+}
+
+const blockBytes = 64
+
+// Layout fixes where each region lives in physical address space. The
+// hot regions sit at the bottom (one per core), then the shared stream
+// region, then the cold region.
+type Layout struct {
+	HotBase    uint64
+	HotStride  uint64
+	StreamBase uint64
+	StreamSize uint64
+	ColdBase   uint64
+	ColdSize   uint64
+	Limit      uint64
+}
+
+// NewLayout computes the region layout for a profile.
+func NewLayout(p Profile) Layout {
+	hotStride := p.HotBytesPerCore
+	streamBase := hotStride * uint64(p.Cores)
+	coldBase := streamBase + p.StreamBytes
+	return Layout{
+		HotBase:    0,
+		HotStride:  hotStride,
+		StreamBase: streamBase,
+		StreamSize: p.StreamBytes,
+		ColdBase:   coldBase,
+		ColdSize:   p.ColdBytes,
+		Limit:      coldBase + p.ColdBytes,
+	}
+}
+
+// Generator produces the instruction stream of one core.
+type Generator struct {
+	profile Profile
+	derived Derived
+	layout  Layout
+	core    int
+	rand    rng
+
+	// intensity is this core's multiplier on all memory probabilities.
+	intensity float64
+
+	// burst state
+	burstRemaining int
+	burstNext      uint64
+	gapLeft        int
+
+	// stats
+	emitted uint64
+}
+
+// NewGenerator builds the stream generator for one core of a workload.
+// Generators for the same (profile, seed) pair but different cores
+// produce decorrelated streams.
+func NewGenerator(p Profile, layout Layout, core int, seed uint64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	intensity := p.CoreIntensity[core%len(p.CoreIntensity)]
+	return &Generator{
+		profile:   p,
+		derived:   p.Derived(),
+		layout:    layout,
+		core:      core,
+		rand:      newRNG(seed ^ (uint64(core)+1)*0xa0761d6478bd642f),
+		intensity: intensity,
+	}
+}
+
+// blockAlign masks addr to a block base.
+func blockAlign(addr uint64) uint64 { return addr &^ (blockBytes - 1) }
+
+// loadOrStore picks the reference type from the profile's store
+// fraction.
+func (g *Generator) loadOrStore() OpKind {
+	if g.rand.float() < g.profile.StoreFraction {
+		return OpStore
+	}
+	return OpLoad
+}
+
+// hotAddr returns a reference into this core's cache-resident region.
+func (g *Generator) hotAddr() uint64 {
+	base := g.layout.HotBase + uint64(g.core)*g.layout.HotStride
+	return base + blockAlign(g.rand.intn(g.layout.HotStride))
+}
+
+// coldAddr returns a reference scattered over the cold region.
+func (g *Generator) coldAddr() uint64 {
+	return g.layout.ColdBase + blockAlign(g.rand.intn(g.layout.ColdSize))
+}
+
+// startBurst initializes a sequential run in the stream region.
+func (g *Generator) startBurst() {
+	g.burstRemaining = g.rand.geometric(g.derived.BurstLen)
+	start := g.layout.StreamBase + blockAlign(g.rand.intn(g.layout.StreamSize))
+	g.burstNext = start
+	g.gapLeft = 0
+}
+
+// burstOp emits the next block of the active burst.
+func (g *Generator) burstOp() Op {
+	addr := g.burstNext
+	g.burstNext += blockBytes
+	if g.burstNext >= g.layout.ColdBase {
+		g.burstNext = g.layout.StreamBase
+	}
+	g.burstRemaining--
+	g.gapLeft = g.profile.BurstGapInstr
+	kind := OpLoad
+	storeFrac := g.profile.BurstStoreFraction
+	if storeFrac == 0 {
+		storeFrac = g.profile.StoreFraction
+	}
+	if g.rand.float() < storeFrac {
+		kind = OpStore
+	}
+	return Op{Kind: kind, Addr: addr}
+}
+
+// Next returns the next instruction of this core's stream.
+func (g *Generator) Next() Op {
+	g.emitted++
+	// Active burst, gap elapsed: emit the next block.
+	bursting := g.burstRemaining > 0
+	if bursting {
+		if g.gapLeft <= 0 {
+			return g.burstOp()
+		}
+		g.gapLeft--
+	}
+	// Background mix. It keeps flowing during burst gaps (the loop
+	// processing a streamed buffer still touches its own hot and cold
+	// data), so the miss rate does not dilute with the gap length;
+	// only new bursts are suppressed while one is active.
+	u := g.rand.float()
+	d := g.derived
+	pCold := d.PCold * g.intensity
+	pBurst := d.PBurstStart * g.intensity
+	if bursting {
+		pBurst = 0
+	}
+	pHot := d.PHot * g.intensity
+	switch {
+	case u < pCold:
+		return Op{Kind: g.loadOrStore(), Addr: g.coldAddr()}
+	case u < pCold+pBurst:
+		g.startBurst()
+		return g.burstOp()
+	case u < pCold+pBurst+pHot:
+		return Op{Kind: g.loadOrStore(), Addr: g.hotAddr()}
+	default:
+		return Op{Kind: OpNonMem}
+	}
+}
+
+// Emitted returns the number of instructions generated so far.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// IOAgent injects DMA traffic directly at the memory controllers,
+// bypassing the caches (it models device DMA and OS atomic traffic,
+// §4.3). Each burst touches BurstBlocks sequential blocks in a
+// dedicated slice of the stream region.
+type IOAgent struct {
+	prof    IOProfile
+	layout  Layout
+	rand    rng
+	rate    float64 // bursts per cycle
+	pending int     // blocks left in the active burst
+	next    uint64
+	isWrite bool
+}
+
+// NewIOAgent builds the agent; channels scales the rate when the
+// profile asks for it. Returns nil when the profile has no IO
+// component.
+func NewIOAgent(p IOProfile, layout Layout, channels int, seed uint64) *IOAgent {
+	if !p.Enabled {
+		return nil
+	}
+	rate := p.BurstsPerMCycle / 1e6
+	if p.ScalesWithChannels {
+		rate *= float64(channels)
+	}
+	return &IOAgent{
+		prof:   p,
+		layout: layout,
+		rand:   newRNG(seed ^ 0xd1b54a32d192ed03),
+		rate:   rate,
+	}
+}
+
+// Next returns the DMA block to issue this cycle, if any. The second
+// result reports whether a request was produced; the third whether it
+// is a write.
+func (a *IOAgent) Next() (addr uint64, ok, write bool) {
+	if a.pending > 0 {
+		a.pending--
+		addr = a.next
+		a.next += blockBytes
+		if a.next >= a.layout.ColdBase {
+			a.next = a.layout.StreamBase
+		}
+		return addr, true, a.isWrite
+	}
+	if a.rand.float() >= a.rate {
+		return 0, false, false
+	}
+	a.pending = a.prof.BurstBlocks
+	a.next = a.layout.StreamBase + blockAlign(a.rand.intn(a.layout.StreamSize))
+	a.isWrite = a.rand.float() < a.prof.WriteFraction
+	if a.pending > 0 {
+		a.pending--
+		addr = a.next
+		a.next += blockBytes
+		return addr, true, a.isWrite
+	}
+	return 0, false, false
+}
