@@ -249,18 +249,37 @@ func BenchmarkAblationATLASScanDepth(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed
-// (cycles/op) on the baseline Data Serving system.
+// BenchmarkSimulatorThroughput measures raw simulation speed (ns per
+// simulated cycle) per workload, with the event-horizon fast-forward
+// engine off (naive per-cycle loop) and on. The ff=on/ff=off ratio per
+// profile is the BENCH trajectory number for the engine; the paper's
+// low-intensity profiles (SAT Solver, TPC-H Q6, Web Search) are where
+// idle stretches dominate and the speedup is largest.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := core.DefaultConfig(workload.DataServing())
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		b.Fatal(err)
+	profiles := []workload.Profile{
+		workload.DataServing(),
+		workload.SATSolver(),
+		workload.WebSearch(),
+		workload.TPCHQ6(),
 	}
-	sys.FunctionalWarmup(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.Step()
+	for _, p := range profiles {
+		for _, ff := range []bool{false, true} {
+			name := p.Acronym + "/ff=off"
+			if ff {
+				name = p.Acronym + "/ff=on"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig(p)
+				cfg.FastForward = ff
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.FunctionalWarmup(0)
+				b.ResetTimer()
+				sys.Advance(uint64(b.N))
+			})
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 	warm := flag.Uint64("warm", 100_000, "timed warmup cycles")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	perCore := flag.Bool("percore", false, "print per-core IPC")
+	ff := flag.Bool("ff", true, "event-horizon fast-forward (off = naive per-cycle loop; metrics are bit-identical)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -57,6 +58,7 @@ func main() {
 	cfg.MeasureCycles = *cycles
 	cfg.WarmupCycles = *warm
 	cfg.Seed = *seed
+	cfg.FastForward = *ff
 	// Scale ATLAS's quantum to the measurement window (DESIGN.md).
 	cfg.SchedOpts.ATLAS = sched.ATLASConfig{
 		QuantumCycles: *cycles / 10, Alpha: 0.875,

@@ -1,0 +1,3 @@
+module cloudmc
+
+go 1.24

@@ -79,6 +79,17 @@ type Config struct {
 	// Seed makes runs reproducible; the same Config and Seed give
 	// bit-identical Metrics.
 	Seed uint64
+
+	// FastForward enables the event-horizon engine: when every core is
+	// stalled and every controller is inert, Run advances the clock in
+	// one jump to the earliest cycle at which any component can change
+	// state instead of ticking cycle-by-cycle, and controllers skip
+	// their decision logic until a command can become legal. The
+	// resulting Metrics are bit-identical to the naive loop (the
+	// equivalence suite in fastforward_test.go enforces this); the flag
+	// exists to run that comparison and to debug the engine itself.
+	// DefaultConfig enables it.
+	FastForward bool
 }
 
 // DefaultConfig returns the paper's Table 2 baseline system for a
@@ -106,6 +117,7 @@ func DefaultConfig(p workload.Profile) Config {
 		WarmupCycles:   100_000,
 		MeasureCycles:  1_000_000,
 		Seed:           1,
+		FastForward:    true,
 	}
 }
 

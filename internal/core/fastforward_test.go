@@ -1,0 +1,122 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudmc/internal/sched"
+	"cloudmc/internal/workload"
+)
+
+// equivalenceConfig is small enough to run 16 paired simulations in a
+// few seconds yet long enough to cross write drains, page-policy
+// closes, DMA bursts and (scaled) ATLAS quantum boundaries.
+func equivalenceConfig(p workload.Profile, k sched.Kind, ff bool) Config {
+	cfg := DefaultConfig(p)
+	cfg.Scheduler = k
+	cfg.WarmupCycles = 10_000
+	cfg.MeasureCycles = 50_000
+	cfg.WarmupInstrPerCore = 5_000
+	cfg.FastForward = ff
+	cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+		QuantumCycles:       7_000,
+		Alpha:               0.875,
+		StarvationThreshold: 1_000,
+		ScanDepth:           2,
+	}
+	return cfg
+}
+
+// TestFastForwardEquivalence is the tentpole's hard requirement: the
+// event-horizon engine must produce bit-identical Metrics to the
+// naive cycle loop — same cycles, IPC, row-hit classification, queue
+// averages, latencies — across workloads with different quiescence
+// patterns (low/high MLP, DMA traffic, imbalanced cores) and across
+// schedulers with different idle behaviour (stateless FR-FCFS,
+// clock-driven ATLAS).
+func TestFastForwardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	profiles := []workload.Profile{
+		workload.SATSolver(),      // low MLP, balanced
+		workload.TPCHQ6(),         // MLP 1, high intensity
+		workload.WebFrontend(),    // 8 cores, DMA agent, imbalanced
+		workload.MediaStreaming(), // DMA agent, MLP 3
+	}
+	kinds := []sched.Kind{sched.FRFCFS, sched.ATLAS}
+	for _, p := range profiles {
+		for _, k := range kinds {
+			p, k := p, k
+			t.Run(p.Acronym+"/"+k.String(), func(t *testing.T) {
+				t.Parallel()
+				run := func(ff bool) Metrics {
+					sys, err := NewSystem(equivalenceConfig(p, k, ff))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sys.Run()
+				}
+				naive := run(false)
+				fast := run(true)
+				if !reflect.DeepEqual(naive, fast) {
+					t.Fatalf("fast-forward diverged from naive loop:\nnaive: %+v\nfast:  %+v", naive, fast)
+				}
+			})
+		}
+	}
+}
+
+// TestFastForwardEquivalenceRL covers the RL scheduler separately: its
+// exploration PRNG is only consulted when legal commands exist, so the
+// draw sequence must survive fast-forwarding untouched.
+func TestFastForwardEquivalenceRL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	run := func(ff bool) Metrics {
+		sys, err := NewSystem(equivalenceConfig(workload.DataServing(), sched.RL, ff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run()
+	}
+	naive := run(false)
+	fast := run(true)
+	if !reflect.DeepEqual(naive, fast) {
+		t.Fatalf("fast-forward diverged under RL:\nnaive: %+v\nfast:  %+v", naive, fast)
+	}
+}
+
+// TestFastForwardDefaultOn documents that the engine is the default
+// path for study configurations.
+func TestFastForwardDefaultOn(t *testing.T) {
+	if !DefaultConfig(workload.DataServing()).FastForward {
+		t.Fatal("DefaultConfig must enable FastForward")
+	}
+}
+
+// TestAdvanceMatchesRunSegments checks that Advance composes: stepping
+// the clock in unequal chunks lands on the same state as one call.
+func TestAdvanceMatchesRunSegments(t *testing.T) {
+	cfg := equivalenceConfig(workload.WebSearch(), sched.FRFCFS, true)
+	a, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FunctionalWarmup(1_000)
+	b.FunctionalWarmup(1_000)
+	a.Advance(9_000)
+	for _, n := range []uint64{1, 2_499, 3_000, 3_500} {
+		b.Advance(n)
+	}
+	am := a.collect(9_000)
+	bm := b.collect(9_000)
+	if !reflect.DeepEqual(am, bm) {
+		t.Fatalf("chunked Advance diverged:\none-shot: %+v\nchunked:  %+v", am, bm)
+	}
+}

@@ -84,7 +84,18 @@ type System struct {
 	// measurement
 	demandMisses uint64
 	cycle        uint64
+
+	// ffRetryAt throttles fast-forward attempts: after horizon() finds
+	// an active component, the system steps at least ffBackoff cycles
+	// before scanning again. Purely a cost control — jumps are
+	// semantics-preserving whenever they are taken, so deferring an
+	// attempt never changes results.
+	ffRetryAt uint64
 }
+
+// ffBackoff is the number of per-cycle steps taken after a failed
+// fast-forward attempt before the horizon is scanned again.
+const ffBackoff = 8
 
 // NewSystem builds a System from a validated Config.
 func NewSystem(cfg Config) (*System, error) {
@@ -117,6 +128,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctl.SetFastForward(cfg.FastForward)
 		s.ctrls = append(s.ctrls, ctl)
 	}
 
@@ -442,6 +454,96 @@ func (s *System) Step() {
 	s.cycle++
 }
 
+// horizon returns the earliest cycle >= s.cycle at which any component
+// can change state. A result equal to s.cycle means some component is
+// active now and the clock must advance cycle-by-cycle.
+func (s *System) horizon() uint64 {
+	now := s.cycle
+	// Pending writebacks and rejected DMA requests retry every cycle.
+	if len(s.wbq) > 0 || len(s.ioq) > 0 {
+		return now
+	}
+	h := cpu.Never
+	for _, c := range s.cores {
+		e := c.NextEvent(now)
+		if e == now {
+			return now
+		}
+		if e < h {
+			h = e
+		}
+	}
+	if len(s.fillq) > 0 {
+		at := s.fillq[0].at
+		if at <= now {
+			return now
+		}
+		if at < h {
+			h = at
+		}
+	}
+	for _, ctl := range s.ctrls {
+		e := ctl.NextEvent(now)
+		if e == now {
+			return now
+		}
+		if e < h {
+			h = e
+		}
+	}
+	return h
+}
+
+// fastForward jumps the clock to the event horizon, bounded by limit
+// (the warmup boundary or the end of the run). It reports whether any
+// cycles were skipped; when it returns false the caller must Step. The
+// skipped cycles are provably inert: every core is stalled (their
+// stall counters are applied in bulk), every controller is inside its
+// own event horizon, no fill is due, and the IO agent's per-cycle
+// injection draws are replayed exactly by Scan.
+func (s *System) fastForward(limit uint64) bool {
+	h := s.horizon()
+	if h > limit {
+		h = limit
+	}
+	if h <= s.cycle {
+		return false
+	}
+	n := h - s.cycle
+	if s.io != nil {
+		idle, fired := s.io.Scan(n)
+		if fired && idle == 0 {
+			return false
+		}
+		if idle < n {
+			n = idle
+		}
+	}
+	to := s.cycle + n
+	for _, c := range s.cores {
+		c.Advance(s.cycle, to)
+	}
+	s.cycle = to
+	return true
+}
+
+// Advance simulates n cycles from the current clock, using the
+// event-horizon fast-forward engine when Config.FastForward is set and
+// the per-cycle Step loop otherwise. Both paths produce bit-identical
+// state and statistics.
+func (s *System) Advance(n uint64) {
+	end := s.cycle + n
+	for s.cycle < end {
+		if s.cfg.FastForward && s.cycle >= s.ffRetryAt {
+			if s.fastForward(end) {
+				continue
+			}
+			s.ffRetryAt = s.cycle + ffBackoff
+		}
+		s.Step()
+	}
+}
+
 // Run performs functional warming (unless already done), timed warmup,
 // then measurement, and returns the metrics of the measurement window.
 func (s *System) Run() Metrics {
@@ -449,11 +551,14 @@ func (s *System) Run() Metrics {
 		s.FunctionalWarmup(s.cfg.WarmupInstrPerCore)
 	}
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
-	for s.cycle < total {
-		if s.cycle == s.cfg.WarmupCycles {
-			s.resetStats(s.cycle)
-		}
-		s.Step()
+	if s.cycle < s.cfg.WarmupCycles {
+		s.Advance(s.cfg.WarmupCycles - s.cycle)
+	}
+	if s.cycle == s.cfg.WarmupCycles {
+		s.resetStats(s.cycle)
+	}
+	if s.cycle < total {
+		s.Advance(total - s.cycle)
 	}
 	return s.collect(total)
 }

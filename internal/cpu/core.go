@@ -11,6 +11,11 @@ import (
 	"cloudmc/internal/workload"
 )
 
+// Never is the event-horizon sentinel: the core cannot change state on
+// its own; only an external event (a load fill or a store drain) can
+// wake it.
+const Never = ^uint64(0)
+
 // AccessResult is the memory hierarchy's answer to a core request.
 type AccessResult struct {
 	// Rejected means the hierarchy could not accept the access
@@ -176,6 +181,53 @@ func (c *Core) Tick(now uint64, port Port) {
 			c.storeBuf++
 		}
 		c.retire(now)
+	}
+}
+
+// NextEvent returns the earliest cycle >= now at which this core can
+// change state: now itself when the core would issue this cycle,
+// stallUntil while a timed stall runs, and Never while the core is
+// waiting on the memory system (a load fill at the MLP limit, or a
+// store stuck behind a full store buffer). Between now and the
+// returned cycle, Tick is a no-op except for the stall counters, which
+// Advance applies in bulk.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.blocked {
+		return Never
+	}
+	if now < c.stallUntil {
+		return c.stallUntil
+	}
+	if c.hasPending && c.pending.Kind == workload.OpStore && c.storeBuf >= c.cfg.StoreBufferCap {
+		return Never
+	}
+	return now
+}
+
+// Advance applies the effect of the quiescent cycles [from, to) in one
+// step, replicating exactly the stall statistics the per-cycle Tick
+// loop would have accumulated. It must only be called for windows in
+// which NextEvent(from) >= to held and no fill or drain arrived.
+func (c *Core) Advance(from, to uint64) {
+	if to <= from {
+		return
+	}
+	if c.blocked {
+		// Tick counts a load-stall cycle whenever the core is blocked,
+		// regardless of any overlapping timed stall.
+		c.Stats.StallLoad += to - from
+		return
+	}
+	if c.hasPending && c.pending.Kind == workload.OpStore && c.storeBuf >= c.cfg.StoreBufferCap {
+		// Store-buffer stalls only count once the timed stall has
+		// elapsed (Tick returns at the stallUntil check first).
+		start := from
+		if c.stallUntil > start {
+			start = c.stallUntil
+		}
+		if to > start {
+			c.Stats.StallStore += to - start
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+// blockCore ticks a core against a port whose every access goes
+// pending until the core hits its MLP limit and blocks, returning the
+// cycle after the blocking tick.
+func blockCore(t *testing.T, c *Core, port Port) uint64 {
+	t.Helper()
+	for now := uint64(0); now < 100_000; now++ {
+		c.Tick(now, port)
+		if c.Blocked() {
+			return now + 1
+		}
+	}
+	t.Fatal("core never blocked")
+	return 0
+}
+
+type pendingPort struct{}
+
+func (pendingPort) Load(uint64, int, uint64) AccessResult {
+	return AccessResult{Pending: true}
+}
+func (pendingPort) Store(uint64, int, uint64) AccessResult {
+	return AccessResult{Pending: true}
+}
+
+func blockedTestCore(t *testing.T) (*Core, uint64) {
+	t.Helper()
+	p := workload.TPCHQ6() // MLP limit 1: the first load miss blocks
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 1, StoreBufferCap: 4, BaseCPI: 1}, gen)
+	now := blockCore(t, c, pendingPort{})
+	return c, now
+}
+
+// TestNextEventBlockedCore: a core at its MLP limit has no
+// self-generated future event; only a fill can wake it.
+func TestNextEventBlockedCore(t *testing.T) {
+	c, now := blockedTestCore(t)
+	if got := c.NextEvent(now); got != Never {
+		t.Fatalf("blocked core NextEvent = %d, want Never", got)
+	}
+	c.LoadReturned(now)
+	if got := c.NextEvent(now); got != now {
+		t.Fatalf("unblocked core NextEvent = %d, want %d (active)", got, now)
+	}
+}
+
+// TestAdvanceBlockedMatchesTicks: bulk-advancing a blocked core must
+// accumulate exactly the stall cycles the per-cycle loop would.
+func TestAdvanceBlockedMatchesTicks(t *testing.T) {
+	a, nowA := blockedTestCore(t)
+	b, nowB := blockedTestCore(t)
+	if nowA != nowB {
+		t.Fatalf("paired cores diverged before the stall: %d vs %d", nowA, nowB)
+	}
+	const window = 137
+	for i := uint64(0); i < window; i++ {
+		a.Tick(nowA+i, pendingPort{})
+	}
+	b.Advance(nowB, nowB+window)
+	if a.Stats != b.Stats {
+		t.Fatalf("stall accounting diverged:\nticked:   %+v\nadvanced: %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.StallLoad == 0 {
+		t.Fatal("expected load-stall cycles in the window")
+	}
+}
+
+// TestNextEventTimedStall: after retiring an instruction with BaseCPI
+// debt, the core's next event is the end of the issue stall.
+func TestNextEventTimedStall(t *testing.T) {
+	p := workload.WebSearch()
+	gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+	c := New(0, Config{MLPLimit: 2, StoreBufferCap: 2, BaseCPI: 4}, gen)
+	port := &scriptPort{} // every access hits
+	c.Tick(0, port)
+	if c.Stats.Retired != 1 {
+		t.Fatalf("expected one retire, got %d", c.Stats.Retired)
+	}
+	// BaseCPI 4 charges 3 cycles of debt: stall until cycle 4.
+	if got := c.NextEvent(1); got != 4 {
+		t.Fatalf("NextEvent during issue stall = %d, want 4", got)
+	}
+	// Advancing over the stall window changes no statistics.
+	before := c.Stats
+	c.Advance(1, 4)
+	if c.Stats != before {
+		t.Fatalf("Advance over a timed stall changed stats: %+v -> %+v", before, c.Stats)
+	}
+}
+
+// storePendingPort serves loads from cache but leaves every store
+// pending, so the store buffer fills deterministically.
+type storePendingPort struct{}
+
+func (storePendingPort) Load(uint64, int, uint64) AccessResult { return AccessResult{} }
+func (storePendingPort) Store(uint64, int, uint64) AccessResult {
+	return AccessResult{Pending: true}
+}
+
+// TestNextEventStoreBufferStall: a core stuck behind a full store
+// buffer waits for an external drain, and Advance counts the stall
+// cycles exactly as Tick would.
+func TestNextEventStoreBufferStall(t *testing.T) {
+	p := workload.TPCHQ6()
+	mk := func() *Core {
+		gen := workload.NewGenerator(p, workload.NewLayout(p), 0, 1)
+		return New(0, Config{MLPLimit: 8, StoreBufferCap: 1, BaseCPI: 1}, gen)
+	}
+	fill := func(c *Core) uint64 {
+		for now := uint64(0); now < 200_000; now++ {
+			c.Tick(now, storePendingPort{})
+			if c.Stats.StallStore > 0 {
+				return now + 1
+			}
+		}
+		t.Fatal("store buffer never filled")
+		return 0
+	}
+	a, b := mk(), mk()
+	nowA, nowB := fill(a), fill(b)
+	if nowA != nowB {
+		t.Fatalf("paired cores diverged: %d vs %d", nowA, nowB)
+	}
+	if got := a.NextEvent(nowA); got != Never {
+		t.Fatalf("store-stalled core NextEvent = %d, want Never", got)
+	}
+	const window = 91
+	for i := uint64(0); i < window; i++ {
+		a.Tick(nowA+i, storePendingPort{})
+	}
+	b.Advance(nowB, nowB+window)
+	if a.Stats != b.Stats {
+		t.Fatalf("store-stall accounting diverged:\nticked:   %+v\nadvanced: %+v", a.Stats, b.Stats)
+	}
+	a.StoreDrained(nowA + window)
+	if got := a.NextEvent(nowA + window); got != nowA+window {
+		t.Fatalf("drained core NextEvent = %d, want %d (active)", got, nowA+window)
+	}
+}

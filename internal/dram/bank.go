@@ -1,5 +1,9 @@
 package dram
 
+// Never is the event-horizon sentinel: no future cycle at which the
+// queried state change can occur without an intervening command.
+const Never = ^uint64(0)
+
 // BankState is the coarse state of one DRAM bank.
 type BankState uint8
 
@@ -64,6 +68,35 @@ func (b *Bank) CanColumn(now uint64, row int) bool {
 // CanPrecharge reports whether a PRECHARGE is legal at cycle now.
 func (b *Bank) CanPrecharge(now uint64) bool {
 	return b.State == BankActive && now >= b.preAllowedAt
+}
+
+// NextActivateAt returns the earliest cycle at which this bank's
+// constraints admit an ACTIVATE, or Never while a row is open (the
+// bank must be precharged first, which is itself a command).
+func (b *Bank) NextActivateAt() uint64 {
+	if b.State != BankIdle {
+		return Never
+	}
+	return b.actAllowedAt
+}
+
+// NextColumnAt returns the earliest cycle at which a READ/WRITE to row
+// becomes legal under this bank's constraints, or Never when the bank
+// does not hold row open.
+func (b *Bank) NextColumnAt(row int) uint64 {
+	if b.State != BankActive || b.OpenRow != row {
+		return Never
+	}
+	return b.colAllowedAt
+}
+
+// NextPrechargeAt returns the earliest cycle at which a PRECHARGE
+// becomes legal, or Never for an idle bank.
+func (b *Bank) NextPrechargeAt() uint64 {
+	if b.State != BankActive {
+		return Never
+	}
+	return b.preAllowedAt
 }
 
 // activate applies an ACTIVATE at cycle now.
@@ -136,6 +169,21 @@ func (r *Rank) CanActivate(now uint64, t *Timing) bool {
 		}
 	}
 	return true
+}
+
+// NextActivateAt returns the earliest cycle at which rank-level
+// constraints (tRRD, tFAW) admit an ACTIVATE.
+func (r *Rank) NextActivateAt(t *Timing) uint64 {
+	var at uint64
+	if r.anyActivate {
+		at = r.lastActAt + uint64(t.RRD)
+	}
+	if r.actCount >= 4 {
+		if faw := r.actTimes[r.actCount%4] + uint64(t.FAW); faw > at {
+			at = faw
+		}
+	}
+	return at
 }
 
 // recordActivate notes an ACTIVATE issued to this rank at cycle now.

@@ -139,6 +139,71 @@ func (c *Channel) CanIssue(now uint64, cmd Command) bool {
 	}
 }
 
+// EarliestIssue returns the smallest cycle t with CanIssue(t, cmd),
+// assuming no other command is issued in the meantime, or Never when
+// cmd cannot become legal without an intervening state change (e.g. a
+// column access to a row that is not open). Every timing constraint in
+// CanIssue is an absolute-cycle threshold frozen at the last Issue, so
+// the result is exact, not a bound — the fast-forward engine relies on
+// both directions: no wake-up is late, and no legal cycle is skipped.
+func (c *Channel) EarliestIssue(cmd Command) uint64 {
+	if cmd.Kind == CmdNop {
+		return 0
+	}
+	if cmd.Loc.Channel != c.ID {
+		return Never
+	}
+	var at uint64
+	if c.anyCmd {
+		at = c.lastCmdAt + 1
+	}
+	rank := &c.Ranks[cmd.Loc.Rank]
+	bank := &rank.Banks[cmd.Loc.Bank]
+	switch cmd.Kind {
+	case CmdActivate:
+		b := bank.NextActivateAt()
+		if b == Never {
+			return Never
+		}
+		at = max(at, b)
+		at = max(at, rank.NextActivateAt(&c.Tim))
+	case CmdPrecharge:
+		b := bank.NextPrechargeAt()
+		if b == Never {
+			return Never
+		}
+		at = max(at, b)
+	case CmdRead:
+		b := bank.NextColumnAt(cmd.Loc.Row)
+		if b == Never {
+			return Never
+		}
+		at = max(at, b)
+		at = max(at, c.lastWriteDataEnd+uint64(c.Tim.WTR))
+		// now + CAS >= dataFreeAt.
+		if free := c.dataFreeAt; free > uint64(c.Tim.CAS) {
+			at = max(at, free-uint64(c.Tim.CAS))
+		}
+	case CmdWrite:
+		b := bank.NextColumnAt(cmd.Loc.Row)
+		if b == Never {
+			return Never
+		}
+		at = max(at, b)
+		// now + CWL >= dataFreeAt.
+		if free := c.dataFreeAt; free > uint64(c.Tim.CWL) {
+			at = max(at, free-uint64(c.Tim.CWL))
+		}
+		// now + CWL >= lastReadDataEnd + RTW.
+		if rtw := c.lastReadDataEnd + uint64(c.Tim.RTW); rtw > uint64(c.Tim.CWL) {
+			at = max(at, rtw-uint64(c.Tim.CWL))
+		}
+	default:
+		return Never
+	}
+	return at
+}
+
 // Issue applies cmd at cycle now. For CmdRead it returns the cycle at
 // which the requested data has fully arrived; for other commands the
 // returned cycle is when the command's effect completes (ACT: row

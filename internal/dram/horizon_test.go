@@ -1,0 +1,137 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestEarliestIssueExact verifies the event-horizon contract on which
+// the fast-forward engine rests: for any reachable channel state and
+// any candidate command, EarliestIssue returns exactly the first cycle
+// CanIssue holds — never later (a skipped legal cycle would change
+// scheduling) and never earlier (a late wake-up would too).
+func TestEarliestIssueExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((rng >> 33) % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		c := testChannel()
+		check := func(now uint64, cmd Command) bool {
+			at := c.EarliestIssue(cmd)
+			if at == Never {
+				// Must not be legal for a long while without a state
+				// change (sample a window).
+				for tt := now; tt < now+400; tt += 7 {
+					if c.CanIssue(tt, cmd) {
+						return false
+					}
+				}
+				return true
+			}
+			probe := at
+			if probe < now {
+				probe = now
+			}
+			if !c.CanIssue(probe, cmd) {
+				return false
+			}
+			if probe > now && probe > 0 && c.CanIssue(probe-1, cmd) {
+				return false
+			}
+			return true
+		}
+		for now := uint64(0); now < 2000; now++ {
+			// Probe a few random candidates against the current state.
+			for i := 0; i < 3; i++ {
+				kind := CommandKind(1 + next(4))
+				l := loc(next(2), next(4), next(16), next(32))
+				if (kind == CmdRead || kind == CmdWrite) && next(2) == 0 {
+					if row, open := c.OpenRow(l.Rank, l.Bank); open {
+						l.Row = row
+					}
+				}
+				if !check(now, Command{Kind: kind, Loc: l}) {
+					return false
+				}
+			}
+			// Advance the state with a random legal command.
+			kind := CommandKind(1 + next(4))
+			l := loc(next(2), next(4), next(16), next(32))
+			if kind == CmdRead || kind == CmdWrite {
+				if row, open := c.OpenRow(l.Rank, l.Bank); open {
+					l.Row = row
+				}
+			}
+			cmd := Command{Kind: kind, Loc: l}
+			if c.CanIssue(now, cmd) {
+				c.Issue(now, cmd)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBankNextEventAccessors pins the per-bank horizon methods to the
+// legality predicates they mirror.
+func TestBankNextEventAccessors(t *testing.T) {
+	c := testChannel()
+	l := loc(0, 0, 7, 0)
+	b := c.Bank(0, 0)
+
+	if got := b.NextActivateAt(); got != 0 {
+		t.Fatalf("idle bank NextActivateAt = %d, want 0", got)
+	}
+	if got := b.NextColumnAt(7); got != Never {
+		t.Fatalf("idle bank NextColumnAt = %d, want Never", got)
+	}
+	if got := b.NextPrechargeAt(); got != Never {
+		t.Fatalf("idle bank NextPrechargeAt = %d, want Never", got)
+	}
+
+	c.Issue(0, Command{Kind: CmdActivate, Loc: l})
+	if got, want := b.NextColumnAt(7), uint64(c.Tim.RCD); got != want {
+		t.Fatalf("NextColumnAt after ACT = %d, want tRCD=%d", got, want)
+	}
+	if got := b.NextColumnAt(8); got != Never {
+		t.Fatalf("NextColumnAt other row = %d, want Never", got)
+	}
+	if got, want := b.NextPrechargeAt(), uint64(c.Tim.RAS); got != want {
+		t.Fatalf("NextPrechargeAt after ACT = %d, want tRAS=%d", got, want)
+	}
+	if got := b.NextActivateAt(); got != Never {
+		t.Fatalf("active bank NextActivateAt = %d, want Never", got)
+	}
+}
+
+// TestRankNextActivateAt pins the rank-level tRRD/tFAW horizon.
+func TestRankNextActivateAt(t *testing.T) {
+	c := testChannel()
+	r := &c.Ranks[0]
+	if got := r.NextActivateAt(&c.Tim); got != 0 {
+		t.Fatalf("fresh rank NextActivateAt = %d, want 0", got)
+	}
+	now := uint64(0)
+	for bank := 0; bank < 4; bank++ {
+		cmd := Command{Kind: CmdActivate, Loc: loc(0, bank, 1, 0)}
+		at := c.EarliestIssue(cmd)
+		if at < now {
+			at = now
+		}
+		c.Issue(at, cmd)
+		now = at + 1
+	}
+	// Four activates issued: the window constraint must now bind.
+	got := r.NextActivateAt(&c.Tim)
+	if want := r.actTimes[0] + uint64(c.Tim.FAW); got != want {
+		t.Fatalf("NextActivateAt after 4 ACTs = %d, want tFAW bound %d", got, want)
+	}
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+// TestStudySingleFlight proves the cache's in-flight guard: many
+// goroutines racing on the same cell must produce exactly one
+// simulation, with every caller receiving the identical metrics.
+func TestStudySingleFlight(t *testing.T) {
+	s := NewStudy(Config{MeasureCycles: 20_000, WarmupCycles: 5_000, Seed: 1})
+	p := workload.WebSearch()
+	key := baselineKey(p.Acronym)
+
+	const callers = 8
+	results := make([]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Run(p, key).UserIPC
+		}(i)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	sims := s.simulations
+	s.mu.Unlock()
+	if sims != 1 {
+		t.Fatalf("expected exactly 1 simulation for %d racing callers, got %d", callers, sims)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw UserIPC %v, caller 0 saw %v", i, results[i], results[0])
+		}
+	}
+
+	// A second call after completion is a pure cache hit.
+	if got := s.Run(p, key).UserIPC; got != results[0] {
+		t.Fatalf("cache hit returned %v, want %v", got, results[0])
+	}
+	s.mu.Lock()
+	sims = s.simulations
+	s.mu.Unlock()
+	if sims != 1 {
+		t.Fatalf("cache hit re-simulated: %d simulations", sims)
+	}
+}

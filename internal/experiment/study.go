@@ -69,13 +69,21 @@ type runKey struct {
 type Study struct {
 	cfg Config
 
-	mu    sync.Mutex
-	cache map[runKey]core.Metrics
+	mu       sync.Mutex
+	cache    map[runKey]core.Metrics
+	inflight map[runKey]chan struct{}
+	// simulations counts actual simulator runs (not cache hits); the
+	// single-flight test uses it to prove each cell runs exactly once.
+	simulations uint64
 }
 
 // NewStudy returns an empty study.
 func NewStudy(cfg Config) *Study {
-	return &Study{cfg: cfg, cache: make(map[runKey]core.Metrics)}
+	return &Study{
+		cfg:      cfg,
+		cache:    make(map[runKey]core.Metrics),
+		inflight: make(map[runKey]chan struct{}),
+	}
 }
 
 // baseline describes the Table 2 configuration for one workload.
@@ -118,15 +126,39 @@ func baselineKey(acr string) runKey {
 	}
 }
 
-// Run executes (or returns the cached metrics of) one cell.
+// Run executes (or returns the cached metrics of) one cell. Figures
+// share cells, and runAll executes cells concurrently, so Run
+// single-flights per key: the first caller simulates while later
+// callers for the same key wait on its completion instead of
+// redundantly simulating the same configuration.
 func (s *Study) Run(p workload.Profile, k runKey) core.Metrics {
 	k.workload = p.Acronym
 	s.mu.Lock()
-	if m, ok := s.cache[k]; ok {
+	for {
+		if m, ok := s.cache[k]; ok {
+			s.mu.Unlock()
+			return m
+		}
+		done, ok := s.inflight[k]
+		if !ok {
+			break
+		}
 		s.mu.Unlock()
-		return m
+		<-done
+		s.mu.Lock()
 	}
+	done := make(chan struct{})
+	s.inflight[k] = done
+	s.simulations++
 	s.mu.Unlock()
+	// Release waiters even if the simulation panics; they will find no
+	// cached entry and re-attempt (and typically re-panic) themselves.
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, k)
+		s.mu.Unlock()
+		close(done)
+	}()
 
 	sys, err := core.NewSystem(s.systemConfig(p, k))
 	if err != nil {

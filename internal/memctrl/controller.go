@@ -119,6 +119,17 @@ type Controller struct {
 	// decided to precharge once timing allows; indexed rank*banks+bank.
 	pendingClose []bool
 
+	// fastPath enables the event-horizon tick skip; off, Tick runs its
+	// full body every cycle exactly like the original lockstep loop.
+	fastPath bool
+	// wakeAt is the event horizon: the earliest future cycle at which
+	// this controller's state can change (a command becoming legal, a
+	// pending page-policy close, or a timed policy event). While
+	// now < wakeAt and no in-flight transfer completes, Tick is a
+	// provable no-op and returns immediately. Zero means "unknown —
+	// run the full tick"; it is reset whenever a request is enqueued.
+	wakeAt uint64
+
 	// scratch buffers reused across cycles to avoid allocation.
 	optBuf     []Option
 	view       View
@@ -155,6 +166,14 @@ func New(cfg Config, ch *dram.Channel, policy Policy, page pagepolicy.Policy) (*
 
 // Channel exposes the underlying DRAM channel (for device statistics).
 func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// SetFastForward toggles the event-horizon tick skip. The produced
+// statistics are bit-identical either way; the flag exists so the
+// naive loop stays available as the equivalence baseline.
+func (c *Controller) SetFastForward(on bool) {
+	c.fastPath = on
+	c.wakeAt = 0
+}
 
 // Policy exposes the scheduling policy.
 func (c *Controller) Policy() Policy { return c.policy }
@@ -202,6 +221,7 @@ func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Loc
 	}
 	c.nextID++
 	c.readQ = append(c.readQ, r)
+	c.wakeAt = 0
 	c.policy.OnEnqueue(r, now)
 	return true
 }
@@ -228,6 +248,7 @@ func (c *Controller) EnqueueWrite(now uint64, core int, addr uint64, loc dram.Lo
 	}
 	c.nextID++
 	c.writeQ = append(c.writeQ, r)
+	c.wakeAt = 0
 	c.policy.OnEnqueue(r, now)
 	return true
 }
@@ -245,7 +266,17 @@ func (c *Controller) scheduleCompletion(r *Request, at uint64) {
 // Tick advances the controller by one cycle: completes finished
 // transfers, updates drain mode, asks the policy for a command, and
 // issues it (or a page-policy precharge when the bus is free).
+//
+// When the previous full tick established an event horizon (wakeAt)
+// and no transfer completes this cycle, the tick returns immediately:
+// the queue contents, bank states, drain mode and policy state are all
+// provably unchanged, and the skipped queue-occupancy samples are
+// recovered exactly by the time-weighted trackers.
 func (c *Controller) Tick(now uint64) {
+	if c.fastPath && now < c.wakeAt && (len(c.inflight) == 0 || c.inflight[0].at > now) {
+		return
+	}
+
 	// 1. Retire completed transfers.
 	for len(c.inflight) > 0 && c.inflight[0].at <= now {
 		done := c.inflight[0]
@@ -289,6 +320,7 @@ func (c *Controller) Tick(now uint64) {
 			panic(fmt.Sprintf("memctrl: policy %s picked option %d of %d", c.policy.Name(), picked, len(c.view.Options)))
 		}
 	}
+	closed := false
 	if picked >= 0 {
 		opt := c.view.Options[picked]
 		c.issue(now, opt)
@@ -297,15 +329,144 @@ func (c *Controller) Tick(now uint64) {
 		// 5. Idle cycle: give the page policy a chance to close rows.
 		if cmd, ok := c.tryPendingClose(now); ok {
 			issued = cmd
+			closed = true
 		}
 	}
 	c.policy.OnIssue(&c.view, picked, issued, now)
+
+	// 6. Establish the event horizon for the cycles ahead. If anything
+	// happened — or could have happened (options the policy declined
+	// must be re-offered next cycle) — the controller stays hot.
+	if !c.fastPath {
+		return
+	}
+	if picked >= 0 || closed || len(c.view.Options) > 0 {
+		c.wakeAt = now + 1
+		return
+	}
+	c.wakeAt = c.idleHorizon(now)
+}
+
+// idleHorizon computes the earliest future cycle at which this
+// controller could act, given that nothing is legal now: the first
+// cycle a queued request's next command becomes issuable, the first
+// cycle a surviving pending page-policy close becomes issuable, and
+// the policy's next timed event. It is called only after a full tick
+// in which tryPendingClose has already re-validated (and pruned) the
+// pendingClose flags, exactly as the per-cycle loop would have on the
+// first skipped cycle; because queue contents and bank state are
+// frozen until the next enqueue, completion or wake-up, those
+// validations cannot change during the skipped window.
+func (c *Controller) idleHorizon(now uint64) uint64 {
+	h := dram.Never
+
+	// Queued requests: same queue selection as buildOptions, so the
+	// wake-up cycle is exactly the first cycle an option appears.
+	primary, secondary := c.consideredQueues(considersWrites(c.policy))
+	for _, r := range primary {
+		if at := c.earliestFor(r); at < h {
+			h = at
+		}
+	}
+	for _, r := range secondary {
+		if at := c.earliestFor(r); at < h {
+			h = at
+		}
+	}
+
+	// Surviving pending closes: banks tryPendingClose validated but
+	// could not precharge yet for timing reasons.
+	for rank := 0; rank < c.ch.Geo.Ranks; rank++ {
+		for bank := 0; bank < c.ch.Geo.Banks; bank++ {
+			if !c.pendingClose[rank*c.ch.Geo.Banks+bank] {
+				continue
+			}
+			b := c.ch.Bank(rank, bank)
+			if b.State != dram.BankActive {
+				continue
+			}
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: dram.Location{
+				Channel: c.ch.ID, Rank: rank, Bank: bank, Row: b.OpenRow,
+			}}
+			if at := c.ch.EarliestIssue(cmd); at < h {
+				h = at
+			}
+		}
+	}
+
+	if eh, ok := c.policy.(EventHorizon); ok {
+		if at := eh.NextPolicyEvent(now); at < h {
+			h = at
+		}
+	}
+	if h <= now {
+		h = now + 1
+	}
+	return h
+}
+
+// earliestFor returns the earliest cycle the next command advancing r
+// (the same command buildOptions would generate) becomes legal.
+func (c *Controller) earliestFor(r *Request) uint64 {
+	bank := c.ch.Bank(r.Loc.Rank, r.Loc.Bank)
+	var kind dram.CommandKind
+	switch {
+	case bank.State == dram.BankIdle:
+		kind = dram.CmdActivate
+	case bank.OpenRow == r.Loc.Row:
+		kind = dram.CmdRead
+		if r.Kind.IsWrite() {
+			kind = dram.CmdWrite
+		}
+	default:
+		kind = dram.CmdPrecharge
+	}
+	return c.ch.EarliestIssue(dram.Command{Kind: kind, Loc: r.Loc})
+}
+
+// NextEvent reports the earliest cycle >= now at which this controller
+// can change state: the established event horizon or the next
+// in-flight completion, whichever comes first. A result of now means
+// the controller must tick every cycle (horizon unknown or work due).
+func (c *Controller) NextEvent(now uint64) uint64 {
+	if !c.fastPath {
+		return now
+	}
+	h := c.wakeAt
+	if len(c.inflight) > 0 && c.inflight[0].at < h {
+		h = c.inflight[0].at
+	}
+	if h < now {
+		return now
+	}
+	return h
 }
 
 // effectiveWriteMode reports whether the controller serves writes this
 // cycle: either drain mode, or opportunistically when no reads wait.
 func (c *Controller) effectiveWriteMode() bool {
 	return c.writeMode || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+}
+
+// consideredQueues returns the queues whose requests the controller
+// offers to the policy this cycle. buildOptions and idleHorizon must
+// share this selection: the event horizon is "the first cycle an
+// option appears", so deriving it from a different queue set than the
+// option builder would make the controller wake from the wrong queues.
+func (c *Controller) consideredQueues(mixed bool) (primary, secondary []*Request) {
+	if mixed {
+		// Safety valve: when the write queue is nearly full, offer
+		// only write-advancing options so the policy cannot wedge the
+		// cache hierarchy.
+		if len(c.writeQ) >= c.cfg.WriteQueueCap-4 {
+			return c.writeQ, nil
+		}
+		return c.readQ, c.writeQ
+	}
+	if c.effectiveWriteMode() {
+		return c.writeQ, nil
+	}
+	return c.readQ, nil
 }
 
 // buildOptions computes the set of legal commands for this cycle into
@@ -337,26 +498,10 @@ func (c *Controller) buildOptions(now uint64, mixed bool) {
 		}
 	}
 	var pendingHits int
-	if mixed {
-		collect(c.readQ)
-		collect(c.writeQ)
-		// Safety valve: when the write queue is nearly full, offer
-		// only write-advancing options so the policy cannot wedge the
-		// cache hierarchy.
-		if len(c.writeQ) >= c.cfg.WriteQueueCap-4 {
-			for k := range c.groups {
-				delete(c.groups, k)
-			}
-			for k := range c.bankOldest {
-				delete(c.bankOldest, k)
-			}
-			c.gkOrder = c.gkOrder[:0]
-			collect(c.writeQ)
-		}
-	} else if c.effectiveWriteMode() {
-		collect(c.writeQ)
-	} else {
-		collect(c.readQ)
+	primary, secondary := c.consideredQueues(mixed)
+	collect(primary)
+	if secondary != nil {
+		collect(secondary)
 	}
 
 	for _, k := range c.gkOrder {

@@ -1,0 +1,122 @@
+package memctrl
+
+import (
+	"testing"
+
+	"cloudmc/internal/dram"
+	"cloudmc/internal/pagepolicy"
+)
+
+// TestControllerNextEventSparse checks the horizon against a scripted
+// sparse workload where no arrivals occur inside skipped windows: the
+// fast-forwarding run must issue and complete everything at the same
+// cycles as the per-cycle run.
+func TestControllerNextEventSparse(t *testing.T) {
+	type arrival struct {
+		at    uint64
+		l     dram.Location
+		write bool
+	}
+	arrivals := []arrival{
+		{at: 0, l: rloc(0, 0, 5, 0)},
+		{at: 3, l: rloc(0, 0, 5, 1)},   // row hit behind the first
+		{at: 7, l: rloc(0, 1, 9, 0)},   // bank parallelism
+		{at: 400, l: rloc(1, 2, 3, 0)}, // long idle gap before
+		{at: 410, l: rloc(1, 2, 4, 0)}, // conflict: needs precharge
+		{at: 900, l: rloc(0, 3, 1, 0), write: true},
+		{at: 905, l: rloc(0, 0, 5, 2)},  // reopens earlier row
+		{at: 2500, l: rloc(1, 0, 8, 0)}, // another idle stretch
+	}
+	run := func(fast bool) ([]uint64, *Controller) {
+		ctl := testController(t, frPolicy{}, pagepolicy.NewOpenAdaptive())
+		ctl.SetFastForward(fast)
+		var completions []uint64
+		idx := 0
+		now := uint64(0)
+		const end = 6000
+		for now < end {
+			for idx < len(arrivals) && arrivals[idx].at == now {
+				a := arrivals[idx]
+				if a.write {
+					if !ctl.EnqueueWrite(now, 0, addrFor(a.l), a.l, func(at uint64) { completions = append(completions, at) }) {
+						t.Fatal("write rejected")
+					}
+				} else {
+					if !ctl.EnqueueRead(now, 0, addrFor(a.l), a.l, ReadDemand, func(at uint64) { completions = append(completions, at) }) {
+						t.Fatal("read rejected")
+					}
+				}
+				idx++
+			}
+			ctl.Tick(now)
+			if !fast {
+				now++
+				continue
+			}
+			next := ctl.NextEvent(now + 1)
+			if next <= now {
+				t.Fatalf("NextEvent stuck at %d", now)
+			}
+			// Never skip past the next scripted arrival.
+			if idx < len(arrivals) && next > arrivals[idx].at {
+				next = arrivals[idx].at
+			}
+			if next > end {
+				next = end
+			}
+			now = next
+		}
+		return completions, ctl
+	}
+
+	naiveDone, naiveCtl := run(false)
+	fastDone, fastCtl := run(true)
+
+	if len(naiveDone) != len(fastDone) {
+		t.Fatalf("completion counts differ: naive %d, fast %d", len(naiveDone), len(fastDone))
+	}
+	for i := range naiveDone {
+		if naiveDone[i] != fastDone[i] {
+			t.Fatalf("completion %d at cycle %d (naive) vs %d (fast)", i, naiveDone[i], fastDone[i])
+		}
+	}
+	ns, fs := &naiveCtl.Stats, &fastCtl.Stats
+	if ns.ReadsServed != fs.ReadsServed || ns.WritesServed != fs.WritesServed ||
+		ns.RowHits != fs.RowHits || ns.RowMisses != fs.RowMisses || ns.RowConflicts != fs.RowConflicts ||
+		ns.PolicyCloses != fs.PolicyCloses || ns.ConflictCloses != fs.ConflictCloses {
+		t.Fatalf("served/classification stats diverged:\nnaive: %+v\nfast:  %+v", ns, fs)
+	}
+	if ns.ReadLatency.Mean() != fs.ReadLatency.Mean() {
+		t.Fatalf("latency diverged: naive %v, fast %v", ns.ReadLatency.Mean(), fs.ReadLatency.Mean())
+	}
+	const end = 6000
+	if ns.ReadQ.Average(end) != fs.ReadQ.Average(end) || ns.WriteQ.Average(end) != fs.WriteQ.Average(end) {
+		t.Fatalf("queue averages diverged: naive %v/%v, fast %v/%v",
+			ns.ReadQ.Average(end), ns.WriteQ.Average(end), fs.ReadQ.Average(end), fs.WriteQ.Average(end))
+	}
+	if fastCtl.NextEvent(end) == end {
+		t.Fatal("idle controller should report a future (or Never) event horizon")
+	}
+}
+
+// TestNextEventIdleController pins the trivial horizons: a quiescent
+// controller reports Never-like horizons, a freshly enqueued request
+// resets them to now.
+func TestNextEventIdleController(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
+	ctl.SetFastForward(true)
+	ctl.Tick(0)
+	if got := ctl.NextEvent(1); got == 1 {
+		t.Fatal("empty controller must not demand a tick every cycle")
+	}
+	l := rloc(0, 0, 1, 0)
+	ctl.EnqueueRead(5, 0, addrFor(l), l, ReadDemand, nil)
+	if got := ctl.NextEvent(5); got != 5 {
+		t.Fatalf("enqueue must reset the horizon: NextEvent = %d, want 5", got)
+	}
+	// With the fast path disabled the controller always ticks.
+	ctl.SetFastForward(false)
+	if got := ctl.NextEvent(9); got != 9 {
+		t.Fatalf("naive controller NextEvent = %d, want 9", got)
+	}
+}

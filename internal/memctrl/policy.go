@@ -64,6 +64,13 @@ func (v *View) OldestOption() int {
 // chooses among them. Request-level algorithms (FCFS, FR-FCFS, PAR-BS,
 // ATLAS) rank options by their associated request; the RL scheduler
 // values each command directly.
+//
+// Fast-forward contract: on cycles where the controller is provably
+// inert (no completion due, no legal command, nothing issued), the
+// controller may skip the Tick and OnIssue calls entirely. Policies
+// for which those calls are NOT no-ops on such cycles — e.g. anything
+// with clock-driven state — must implement EventHorizon so the
+// controller knows when it must wake up and run them.
 type Policy interface {
 	// Name returns the algorithm name used in reports.
 	Name() string
@@ -81,6 +88,16 @@ type Policy interface {
 	// Tick is called once per controller cycle before Pick, for
 	// policies with time-based state (ATLAS quanta, RL exploration).
 	Tick(now uint64)
+}
+
+// EventHorizon is implemented by scheduling policies with
+// clock-driven state changes (the ATLAS quantum rollover).
+// NextPolicyEvent returns the next cycle at which the policy's Tick
+// must observe the clock even if the controller is otherwise inert;
+// the fast-forward engine never skips past it. Policies without timed
+// state need not implement the interface.
+type EventHorizon interface {
+	NextPolicyEvent(now uint64) uint64
 }
 
 // WriteAware is implemented by policies that schedule writes as

@@ -110,6 +110,10 @@ func (t *ServiceTracker) Tick(now uint64) {
 // debugATLAS enables rank tracing for development.
 var debugATLAS = os.Getenv("ATLAS_DEBUG") != ""
 
+// NextBoundary returns the cycle at which the next quantum rollover
+// fires (the earliest now for which Tick re-ranks).
+func (t *ServiceTracker) NextBoundary() uint64 { return t.nextQuantum }
+
 // Rank returns the current rank of a core slot (0 = highest priority).
 func (t *ServiceTracker) Rank(slot int) int { return t.rank[slot] }
 
@@ -142,6 +146,15 @@ func (*ATLASPolicy) OnComplete(*memctrl.Request, uint64) {}
 // Tick implements memctrl.Policy. Multiple per-channel instances may
 // share a tracker; Tick is idempotent within a cycle.
 func (p *ATLASPolicy) Tick(now uint64) { p.tracker.Tick(now) }
+
+// NextPolicyEvent implements memctrl.EventHorizon: the quantum
+// rollover is clock-driven, so fast-forwarding controllers must wake
+// for it even when no memory traffic is pending — otherwise a skipped
+// boundary would shift every subsequent quantum and change the
+// rankings.
+func (p *ATLASPolicy) NextPolicyEvent(now uint64) uint64 {
+	return p.tracker.NextBoundary()
+}
 
 // OnIssue implements memctrl.Policy: column accesses credit the
 // issuing core's attained service with the data-burst occupancy,

@@ -216,6 +216,11 @@ type IOAgent struct {
 	pending int     // blocks left in the active burst
 	next    uint64
 	isWrite bool
+
+	// primed records that Scan already consumed this cycle's injection
+	// decision (and the burst-setup draws): the next Next call must
+	// replay that decision instead of drawing again.
+	primed bool
 }
 
 // NewIOAgent builds the agent; channels scales the rate when the
@@ -241,6 +246,18 @@ func NewIOAgent(p IOProfile, layout Layout, channels int, seed uint64) *IOAgent 
 // result reports whether a request was produced; the third whether it
 // is a write.
 func (a *IOAgent) Next() (addr uint64, ok, write bool) {
+	if a.primed {
+		// Replay the burst start Scan pre-drew; mirrors the fresh-burst
+		// branch below exactly.
+		a.primed = false
+		if a.pending > 0 {
+			a.pending--
+			addr = a.next
+			a.next += blockBytes
+			return addr, true, a.isWrite
+		}
+		return 0, false, false
+	}
 	if a.pending > 0 {
 		a.pending--
 		addr = a.next
@@ -263,4 +280,29 @@ func (a *IOAgent) Next() (addr uint64, ok, write bool) {
 		return addr, true, a.isWrite
 	}
 	return 0, false, false
+}
+
+// Scan consumes the per-cycle injection decisions for up to n upcoming
+// cycles without emitting requests, so a fast-forwarding simulator can
+// jump over cycles in which the agent stays silent while keeping the
+// random stream bit-identical to the per-cycle Next loop. It returns
+// the number of leading cycles confirmed silent and whether the cycle
+// after them fires. When it fires, the burst-setup draws have already
+// been made; the Next call for that cycle replays them via primed.
+// A result of (0, true) means the current cycle itself emits and no
+// cycle may be skipped.
+func (a *IOAgent) Scan(n uint64) (idle uint64, fired bool) {
+	if a.primed || a.pending > 0 {
+		return 0, true
+	}
+	for i := uint64(0); i < n; i++ {
+		if a.rand.float() < a.rate {
+			a.pending = a.prof.BurstBlocks
+			a.next = a.layout.StreamBase + blockAlign(a.rand.intn(a.layout.StreamSize))
+			a.isWrite = a.rand.float() < a.prof.WriteFraction
+			a.primed = true
+			return i, true
+		}
+	}
+	return n, false
 }
