@@ -1,0 +1,188 @@
+// Command mcmix sweeps multi-tenant colocation mixes across memory
+// schedulers and channel counts and prints the fairness study: per-
+// tenant slowdown versus running alone, weighted speedup, harmonic
+// speedup, and maximum slowdown. Solo baselines are memoized and
+// shared across mixes, so a full sweep costs far fewer simulations
+// than mixes x tenants.
+//
+// Usage:
+//
+//	mcmix [-mixes all|NAME,...] [-scheds FR-FCFS,ATLAS] [-channels 1]
+//	      [-cycles N] [-warm N] [-seed N] [-list] [-detail]
+//
+// Custom mixes can be given as core-count-annotated acronym lists,
+// e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cloudmc/internal/experiment"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+func main() {
+	mixesFlag := flag.String("mixes", "all", "comma-separated mix list (all = canonical study mixes; custom: DS:8+HOG:8,...)")
+	schedsFlag := flag.String("scheds", "FR-FCFS,ATLAS", "comma-separated schedulers to sweep")
+	channelsFlag := flag.String("channels", "1", "comma-separated channel counts to sweep")
+	cycles := flag.Uint64("cycles", 300_000, "measured cycles per simulation")
+	warm := flag.Uint64("warm", 50_000, "timed warmup cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list the canonical mixes and exit")
+	detail := flag.Bool("detail", false, "print the per-tenant breakdown of every cell")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, m := range tenant.StudyMixes() {
+			fmt.Printf("%-28s %2d cores, footprint %.1f GB\n",
+				m.Name, m.TotalCores(), float64(m.Footprint())/(1<<30))
+		}
+		return
+	}
+
+	mixes, err := parseMixes(*mixesFlag)
+	if err != nil {
+		die(err)
+	}
+	scheds, err := parseScheds(*schedsFlag)
+	if err != nil {
+		die(err)
+	}
+	channels, err := parseInts(*channelsFlag)
+	if err != nil {
+		die(err)
+	}
+
+	cfg := experiment.Config{
+		MeasureCycles: *cycles,
+		WarmupCycles:  *warm,
+		Seed:          *seed,
+	}
+	ms := experiment.NewMixStudy(cfg, mixes, scheds, channels)
+	results := ms.Results()
+
+	for _, ch := range channels {
+		fmt.Printf("=== %d channel(s), %d cycles measured ===\n\n", ch, *cycles)
+		for _, m := range mixes {
+			fmt.Printf("%s\n", m.Name)
+			for _, k := range scheds {
+				r, ok := find(results, m.Name, k, ch)
+				if !ok {
+					continue
+				}
+				fmt.Printf("  %-10s WS=%.3f HS=%.3f MaxSlow=%.3f  slowdowns:", k, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
+				for i, t := range r.Shared.Tenants {
+					fmt.Printf(" %s=%.3f", t.Name, r.Fairness.Slowdowns[i])
+				}
+				fmt.Println()
+				if *detail {
+					for i, t := range r.Shared.Tenants {
+						fmt.Printf("    %-10s ipc=%.4f (solo %.4f) lat=%.1f hit=%.3f mpki=%.2f\n",
+							t.Name, t.IPC, r.SoloIPC[i], t.AvgReadLatency, t.RowHitRate, t.MPKI)
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Print(ms.FairnessTable(results).Render())
+	fmt.Printf("\n%d simulations for %d cells (solo baselines shared via run cache)\n",
+		ms.Study().Simulations(), len(results))
+}
+
+func find(results []experiment.MixResult, mix string, k sched.Kind, ch int) (experiment.MixResult, bool) {
+	for _, r := range results {
+		if r.Mix.Name == mix && r.Scheduler == k && r.Channels == ch {
+			return r, true
+		}
+	}
+	return experiment.MixResult{}, false
+}
+
+// parseMixes resolves "all", canonical mix names, or custom specs of
+// the form "DS:8+HOG:8" (acronym:cores joined by '+').
+func parseMixes(s string) ([]tenant.Mix, error) {
+	if s == "all" || s == "" {
+		return tenant.StudyMixes(), nil
+	}
+	canonical := map[string]tenant.Mix{}
+	for _, m := range tenant.StudyMixes() {
+		canonical[m.Name] = m
+	}
+	var out []tenant.Mix
+	seen := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		m, ok := canonical[name]
+		if !ok {
+			var err error
+			if m, err = parseCustomMix(name); err != nil {
+				return nil, err
+			}
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("mcmix: mix %q listed twice", m.Name)
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseCustomMix(s string) (tenant.Mix, error) {
+	var specs []tenant.Spec
+	for _, part := range strings.Split(s, "+") {
+		acr, coresStr, hasCores := strings.Cut(part, ":")
+		p, err := workload.ByAcronym(strings.TrimSpace(acr))
+		if err != nil {
+			return tenant.Mix{}, err
+		}
+		cores := 8
+		if hasCores {
+			cores, err = strconv.Atoi(coresStr)
+			if err != nil || cores <= 0 {
+				return tenant.Mix{}, fmt.Errorf("mcmix: bad core count in %q (want a positive integer)", part)
+			}
+		}
+		specs = append(specs, tenant.Spec{Profile: p, Cores: cores})
+	}
+	if len(specs) < 2 {
+		return tenant.Mix{}, fmt.Errorf("mcmix: mix %q needs at least two tenants (acronym:cores joined by '+')", s)
+	}
+	return tenant.NewMix("", specs...), nil
+}
+
+func parseScheds(s string) ([]sched.Kind, error) {
+	var out []sched.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := sched.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, v := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

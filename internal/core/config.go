@@ -14,13 +14,23 @@ import (
 	"cloudmc/internal/memctrl"
 	"cloudmc/internal/pagepolicy"
 	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
 	"cloudmc/internal/workload"
 )
 
 // Config describes one simulated system + workload combination.
 type Config struct {
-	// Profile is the workload to run.
+	// Profile is the workload to run (solo, single-tenant mode).
 	Profile workload.Profile
+
+	// Tenants, when non-empty, switches the system to multi-tenant
+	// colocation mode: the machine's cores are partitioned among the
+	// listed tenants in order, each driven by its own profile in its
+	// own slice of physical memory, all contending for the shared L2
+	// and memory controllers. Profile is ignored in this mode. Metrics
+	// gain a per-tenant breakdown; ATLAS switches to per-tenant
+	// service accounting.
+	Tenants []tenant.Spec
 
 	// Scheduler selects the memory scheduling algorithm.
 	Scheduler sched.Kind
@@ -121,9 +131,39 @@ func DefaultConfig(p workload.Profile) Config {
 	}
 }
 
+// multiTenant reports whether the config describes a colocation run.
+func (c Config) multiTenant() bool { return len(c.Tenants) > 0 }
+
+// tenantSpecs returns the tenant list driving the system: the
+// configured mix, or a single implicit tenant wrapping Profile.
+func (c Config) tenantSpecs() []tenant.Spec {
+	if c.multiTenant() {
+		return c.Tenants
+	}
+	return []tenant.Spec{{Profile: c.Profile}}
+}
+
+// DefaultMixConfig returns the Table 2 baseline system (DefaultConfig)
+// hosting a colocation mix instead of a solo workload.
+func DefaultMixConfig(m tenant.Mix) Config {
+	if len(m.Tenants) == 0 {
+		panic("core: DefaultMixConfig with an empty mix")
+	}
+	cfg := DefaultConfig(m.Tenants[0].Profile)
+	cfg.Profile = workload.Profile{}
+	cfg.Tenants = m.Tenants
+	return cfg
+}
+
 // Validate reports the first configuration error found.
 func (c Config) Validate() error {
-	if err := c.Profile.Validate(); err != nil {
+	if c.multiTenant() {
+		for _, sp := range c.Tenants {
+			if err := sp.Validate(); err != nil {
+				return err
+			}
+		}
+	} else if err := c.Profile.Validate(); err != nil {
 		return err
 	}
 	if _, ok := pagepolicy.ByName(c.PagePolicy); !ok {

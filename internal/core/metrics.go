@@ -50,6 +50,44 @@ type Metrics struct {
 	RowMisses      uint64
 	RowConflicts   uint64
 	DemandMisses   uint64
+
+	// Tenants is the per-tenant breakdown of a colocation run, in mix
+	// order; nil for solo (single-tenant) runs.
+	Tenants []TenantMetrics
+}
+
+// TenantMetrics is one tenant's share of a colocation run's
+// measurements. The aggregate fields above are exact sums of the
+// per-tenant ones (plus nothing else — every request is attributed).
+type TenantMetrics struct {
+	// Tenant is the mix index; Name the tenant label; Cores its core
+	// allocation.
+	Tenant int
+	Name   string
+	Cores  int
+
+	// Retired and IPC cover the tenant's cores only.
+	Retired uint64
+	IPC     float64
+	// DemandMisses and MPKI count the tenant's primary LLC misses.
+	DemandMisses uint64
+	MPKI         float64
+	// AvgReadLatency is the tenant's mean demand-read latency in core
+	// cycles (queue + service + fixed on-chip path).
+	AvgReadLatency float64
+	// RowHitRate classifies the tenant's own column accesses.
+	RowHitRate   float64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	ReadsServed  uint64
+	WritesServed uint64
+}
+
+// String renders a one-line summary.
+func (t TenantMetrics) String() string {
+	return fmt.Sprintf("%s(%dc): ipc=%.4f lat=%.1f hit=%.3f mpki=%.2f",
+		t.Name, t.Cores, t.IPC, t.AvgReadLatency, t.RowHitRate, t.MPKI)
 }
 
 // IPCDisparity returns min/max per-core IPC, the fairness signal the

@@ -87,7 +87,7 @@ func TestMSHRMergingAvoidsDuplicateReads(t *testing.T) {
 	if !r1.Pending || !r2.Pending {
 		t.Fatalf("expected both pending, got %+v %+v", r1, r2)
 	}
-	if got := len(sys.mshr); got != 1 {
+	if got := sys.mshr.len(); got != 1 {
 		t.Fatalf("MSHR entries = %d, want 1 (merged)", got)
 	}
 	reads, _ := sys.Controllers()[0].QueueLens()
@@ -124,8 +124,8 @@ func TestStoreMissAllocatesMSHRAsStore(t *testing.T) {
 	if !r.Pending {
 		t.Fatalf("store miss not pending: %+v", r)
 	}
-	e, ok := sys.mshr[addr]
-	if !ok {
+	e := sys.mshr.get(addr)
+	if e == nil {
 		t.Fatal("no MSHR entry allocated")
 	}
 	if len(e.stores) != 1 || e.stores[0] != 3 || len(e.loads) != 0 {
@@ -167,7 +167,7 @@ func TestL1HitAfterFill(t *testing.T) {
 	}
 	addr := uint64(0x4000_0040)
 	sys.Load(0, 0, addr)
-	for i := 0; i < 2000 && len(sys.mshr) > 0; i++ {
+	for i := 0; i < 2000 && sys.mshr.len() > 0; i++ {
 		sys.Step()
 	}
 	r := sys.Load(sys.cycle, 0, addr)

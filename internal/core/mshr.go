@@ -1,0 +1,101 @@
+package core
+
+import "math/bits"
+
+// mshrTable is an open-addressed hash table from block address to
+// outstanding-miss entry, replacing the previous map[uint64]*mshrEntry
+// on the LLC-miss hot path. The table is sized at 2x MSHRCap rounded
+// up to a power of two, so the load factor never exceeds 50% and
+// linear probes stay short. Deletion uses the classic linear-probing
+// backward-shift algorithm, so there are no tombstones to accumulate.
+//
+// The simulator never iterates the table — only point lookups, inserts
+// and deletes — so the replacement is observationally identical to the
+// map (the fast-forward equivalence suite enforces bit-identical
+// metrics either way).
+type mshrTable struct {
+	entries []*mshrEntry
+	mask    uint64
+	shift   uint
+	n       int
+}
+
+// newMSHRTable sizes the table for at most cap resident entries: the
+// smallest power of two >= 2*cap (minimum 4), keeping the load factor
+// at or below 50%.
+func newMSHRTable(cap int) mshrTable {
+	n := uint(bits.Len64(2*uint64(cap) - 1))
+	if n < 2 {
+		n = 2
+	}
+	return mshrTable{
+		entries: make([]*mshrEntry, uint64(1)<<n),
+		mask:    uint64(1)<<n - 1,
+		shift:   64 - n,
+	}
+}
+
+// slot is the Fibonacci home slot of a block address (the low six
+// offset bits are already stripped by the caller's block mask, so the
+// multiply sees the distinctive bits).
+func (t *mshrTable) slot(addr uint64) uint64 {
+	return (addr * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+// get returns the entry for addr, or nil.
+func (t *mshrTable) get(addr uint64) *mshrEntry {
+	for i := t.slot(addr); t.entries[i] != nil; i = (i + 1) & t.mask {
+		if t.entries[i].addr == addr {
+			return t.entries[i]
+		}
+	}
+	return nil
+}
+
+// len returns the resident entry count.
+func (t *mshrTable) len() int { return t.n }
+
+// put inserts e (its address must not be resident; the caller checks
+// with get first, as the old map code did).
+func (t *mshrTable) put(e *mshrEntry) {
+	i := t.slot(e.addr)
+	for t.entries[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.entries[i] = e
+	t.n++
+}
+
+// remove deletes addr, backward-shifting the probe chain so lookups
+// never cross a stale hole. No-op if addr is absent.
+func (t *mshrTable) remove(addr uint64) {
+	i := t.slot(addr)
+	for {
+		if t.entries[i] == nil {
+			return
+		}
+		if t.entries[i].addr == addr {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.n--
+	// Backward-shift: walk the cluster after the hole; any entry whose
+	// home slot does not lie (cyclically) after the hole is moved into
+	// it, opening a new hole further along.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		e := t.entries[j]
+		if e == nil {
+			break
+		}
+		k := t.slot(e.addr)
+		// Move e down iff its home slot k is cyclically outside (i, j].
+		if (j > i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+			t.entries[i] = e
+			i = j
+		}
+	}
+	t.entries[i] = nil
+}

@@ -10,6 +10,7 @@ import (
 	"cloudmc/internal/memctrl"
 	"cloudmc/internal/pagepolicy"
 	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
 	"cloudmc/internal/workload"
 )
 
@@ -22,14 +23,16 @@ type mshrEntry struct {
 
 // pendingWrite is a writeback waiting for write-queue space.
 type pendingWrite struct {
-	addr uint64
-	core int
+	addr   uint64
+	core   int
+	tenant int
 }
 
 // pendingIO is a DMA request waiting for queue space.
 type pendingIO struct {
-	addr  uint64
-	write bool
+	addr   uint64
+	write  bool
+	tenant int
 }
 
 // delayedFill is a completed DRAM read traversing the on-chip return
@@ -62,20 +65,48 @@ func newPrimeRNG(seed uint64) primeRNG {
 	return primeRNG{s: seed ^ 0x6c62272e07bb0142}
 }
 
+// tenantRT is the runtime state of one tenant: its resized profile,
+// its slice of the physical address space, and its core range. The
+// tenant's DMA agent (if any) lives in System.ios/ioTenant.
+type tenantRT struct {
+	spec      tenant.Spec
+	profile   workload.Profile
+	layout    workload.Layout
+	firstCore int
+	base      uint64 // inclusive start of the tenant's address range
+	limit     uint64 // exclusive end (layout.Limit)
+}
+
+// tenantSalt decorrelates per-tenant random streams. Salt zero keeps
+// tenant 0 (and therefore every solo run) bit-identical to the
+// pre-tenancy simulator.
+func tenantSalt(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
+
+// tenantAlign rounds tenant base addresses up to 1MB so no DRAM row
+// is shared between tenants under any mapping scheme.
+const tenantAlign = 1 << 20
+
 // System is one assembled simulation: cores, caches, controllers, and
 // the DRAM device models, advanced in lockstep by Run.
 type System struct {
-	cfg    Config
-	cores  []*cpu.Core
-	gens   []*workload.Generator
-	l1     []*cache.Cache
-	l2     *cache.Cache
-	mapper *addrmap.Mapper
-	ctrls  []*memctrl.Controller
-	io     *workload.IOAgent
-	warmed bool
+	cfg     Config
+	tenants []tenantRT
+	cores   []*cpu.Core
+	gens    []*workload.Generator
+	l1      []*cache.Cache
+	l2      *cache.Cache
+	mapper  *addrmap.Mapper
+	ctrls   []*memctrl.Controller
+	// ios lists the tenants' DMA agents in tenant order (tenants
+	// without IO traffic are skipped); ioTenant holds the owning
+	// tenant index of each agent.
+	ios      []*workload.IOAgent
+	ioTenant []int
+	// coreTenant maps a global core index to its tenant index.
+	coreTenant []int
+	warmed     bool
 
-	mshr      map[uint64]*mshrEntry
+	mshr      mshrTable
 	wbq       []pendingWrite
 	ioq       []pendingIO
 	fillq     []delayedFill
@@ -83,6 +114,7 @@ type System struct {
 
 	// measurement
 	demandMisses uint64
+	tenantMisses []uint64
 	cycle        uint64
 
 	// ffRetryAt throttles fast-forward attempts: after horizon() finds
@@ -108,17 +140,26 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs := cfg.tenantSpecs()
+	totalCores := 0
+	for _, sp := range specs {
+		totalCores += sp.CoreCount()
+	}
 	opts := cfg.SchedOpts
-	opts.Cores = cfg.Profile.Cores
+	opts.Cores = totalCores
 	opts.Seed = cfg.Seed
+	if cfg.multiTenant() {
+		opts.Tenants = len(specs)
+	}
 	factory := sched.NewFactoryOpts(cfg.Scheduler, opts)
 
 	s := &System{
-		cfg:       cfg,
-		mapper:    mapper,
-		mshr:      make(map[uint64]*mshrEntry),
-		l2:        cache.New(cfg.L2),
-		blockMask: ^(uint64(cfg.L1.BlockBytes) - 1),
+		cfg:          cfg,
+		mapper:       mapper,
+		mshr:         newMSHRTable(cfg.MSHRCap),
+		l2:           cache.New(cfg.L2),
+		blockMask:    ^(uint64(cfg.L1.BlockBytes) - 1),
+		tenantMisses: make([]uint64, len(specs)),
 	}
 
 	for chID := 0; chID < geo.Channels; chID++ {
@@ -129,24 +170,41 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 		ctl.SetFastForward(cfg.FastForward)
+		if cfg.multiTenant() {
+			ctl.TrackTenants(len(specs))
+		}
 		s.ctrls = append(s.ctrls, ctl)
 	}
 
-	layout := workload.NewLayout(cfg.Profile)
-	if layout.Limit > geo.TotalBytes() {
-		return nil, fmt.Errorf("core: workload footprint %d exceeds memory capacity %d", layout.Limit, geo.TotalBytes())
+	var base uint64
+	for ti, sp := range specs {
+		p := sp.Adjusted()
+		layout := workload.NewLayout(p).Shift(base)
+		if layout.Limit > geo.TotalBytes() {
+			return nil, fmt.Errorf("core: workload footprint %d exceeds memory capacity %d", layout.Limit, geo.TotalBytes())
+		}
+		rt := tenantRT{
+			spec: sp, profile: p, layout: layout,
+			firstCore: len(s.cores), base: base, limit: layout.Limit,
+		}
+		for local := 0; local < p.Cores; local++ {
+			gen := workload.NewGenerator(p, layout, local, cfg.Seed^tenantSalt(ti))
+			s.gens = append(s.gens, gen)
+			s.cores = append(s.cores, cpu.New(len(s.cores), cpu.Config{
+				MLPLimit:       p.MLPLimit,
+				StoreBufferCap: cfg.StoreBufferCap,
+				BaseCPI:        p.BaseCPI,
+			}, gen))
+			s.l1 = append(s.l1, cache.New(cfg.L1))
+			s.coreTenant = append(s.coreTenant, ti)
+		}
+		if io := workload.NewIOAgent(p.IO, layout, geo.Channels, cfg.Seed^tenantSalt(ti)); io != nil {
+			s.ios = append(s.ios, io)
+			s.ioTenant = append(s.ioTenant, ti)
+		}
+		s.tenants = append(s.tenants, rt)
+		base = (layout.Limit + tenantAlign - 1) &^ (tenantAlign - 1)
 	}
-	for i := 0; i < cfg.Profile.Cores; i++ {
-		gen := workload.NewGenerator(cfg.Profile, layout, i, cfg.Seed)
-		s.gens = append(s.gens, gen)
-		s.cores = append(s.cores, cpu.New(i, cpu.Config{
-			MLPLimit:       cfg.Profile.MLPLimit,
-			StoreBufferCap: cfg.StoreBufferCap,
-			BaseCPI:        cfg.Profile.BaseCPI,
-		}, gen))
-		s.l1 = append(s.l1, cache.New(cfg.L1))
-	}
-	s.io = workload.NewIOAgent(cfg.Profile.IO, layout, geo.Channels, cfg.Seed)
 	return s, nil
 }
 
@@ -165,6 +223,18 @@ func (s *System) Config() Config { return s.cfg }
 
 // Controllers exposes the per-channel controllers (tests use this).
 func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// tenantOfAddr attributes a physical block address to the tenant whose
+// layout contains it (-1 if none does; cannot happen for addresses the
+// generators produce).
+func (s *System) tenantOfAddr(addr uint64) int {
+	for i := range s.tenants {
+		if addr >= s.tenants[i].base && addr < s.tenants[i].limit {
+			return i
+		}
+	}
+	return -1
+}
 
 // Load implements cpu.Port.
 func (s *System) Load(now uint64, core int, addr uint64) cpu.AccessResult {
@@ -195,7 +265,7 @@ func (s *System) Store(now uint64, core int, addr uint64) cpu.AccessResult {
 
 // miss handles an LLC miss for a load or store.
 func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessResult {
-	if e, ok := s.mshr[addr]; ok {
+	if e := s.mshr.get(addr); e != nil {
 		// Secondary miss: merge into the outstanding fill.
 		if store {
 			e.stores = append(e.stores, core)
@@ -204,7 +274,7 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 		}
 		return cpu.AccessResult{Pending: true}
 	}
-	if len(s.mshr) >= s.cfg.MSHRCap {
+	if s.mshr.len() >= s.cfg.MSHRCap {
 		return cpu.AccessResult{Rejected: true}
 	}
 	loc := s.mapper.Decode(addr)
@@ -218,16 +288,18 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	} else {
 		e.loads = append(e.loads, core)
 	}
+	ten := s.coreTenant[core]
 	// The fixed on-chip path latency is charged by queueing the fill
 	// for MemPathLatency cycles after the data leaves the controller.
-	ok := s.ctrls[loc.Channel].EnqueueRead(now, core, addr, loc, kind, func(at uint64) {
+	ok := s.ctrls[loc.Channel].EnqueueRead(now, memctrl.Source{Core: core, Tenant: ten}, addr, loc, kind, func(at uint64) {
 		s.scheduleFill(at+uint64(s.cfg.MemPathLatency), e)
 	})
 	if !ok {
 		return cpu.AccessResult{Rejected: true}
 	}
-	s.mshr[addr] = e
+	s.mshr.put(e)
 	s.demandMisses++
+	s.tenantMisses[ten]++
 	return cpu.AccessResult{Pending: true}
 }
 
@@ -255,10 +327,10 @@ func (s *System) deliverFills(now uint64) {
 // fill completes an LLC miss: installs the block, routes the L2
 // victim's writeback, and wakes the merged waiters.
 func (s *System) fill(now uint64, e *mshrEntry) {
-	delete(s.mshr, e.addr)
+	s.mshr.remove(e.addr)
 	victim := s.l2.Install(e.addr, false)
 	if victim.Valid && victim.Dirty {
-		s.wbq = append(s.wbq, pendingWrite{addr: victim.Addr, core: -1})
+		s.wbq = append(s.wbq, pendingWrite{addr: victim.Addr, core: -1, tenant: s.tenantOfAddr(victim.Addr)})
 	}
 	for _, c := range e.loads {
 		s.installL1(now, c, e.addr, false)
@@ -284,7 +356,7 @@ func (s *System) installL1(now uint64, core int, addr uint64, dirty bool) {
 	// it dirty (the victim carries the whole block).
 	l2v := s.l2.Install(victim.Addr, true)
 	if l2v.Valid && l2v.Dirty {
-		s.wbq = append(s.wbq, pendingWrite{addr: l2v.Addr, core: core})
+		s.wbq = append(s.wbq, pendingWrite{addr: l2v.Addr, core: core, tenant: s.tenantOfAddr(l2v.Addr)})
 	}
 }
 
@@ -294,30 +366,31 @@ func (s *System) drainWritebacks(now uint64) {
 	for len(s.wbq) > 0 {
 		wb := s.wbq[0]
 		loc := s.mapper.Decode(wb.addr)
-		if !s.ctrls[loc.Channel].EnqueueWrite(now, wb.core, wb.addr, loc, nil) {
+		if !s.ctrls[loc.Channel].EnqueueWrite(now, memctrl.Source{Core: wb.core, Tenant: wb.tenant}, wb.addr, loc, nil) {
 			return
 		}
 		s.wbq = s.wbq[1:]
 	}
 }
 
-// tickIO injects DMA traffic, retrying rejected requests in order.
+// tickIO injects each tenant's DMA traffic, retrying rejected requests
+// in order.
 func (s *System) tickIO(now uint64) {
-	if s.io == nil {
-		return
-	}
-	if addr, ok, write := s.io.Next(); ok {
-		s.ioq = append(s.ioq, pendingIO{addr: addr, write: write})
+	for i, a := range s.ios {
+		if addr, ok, write := a.Next(); ok {
+			s.ioq = append(s.ioq, pendingIO{addr: addr, write: write, tenant: s.ioTenant[i]})
+		}
 	}
 	for len(s.ioq) > 0 {
 		req := s.ioq[0]
 		loc := s.mapper.Decode(req.addr)
 		ctl := s.ctrls[loc.Channel]
+		src := memctrl.Source{Core: -1, Tenant: req.tenant}
 		var ok bool
 		if req.write {
-			ok = ctl.EnqueueWrite(now, -1, req.addr, loc, nil)
+			ok = ctl.EnqueueWrite(now, src, req.addr, loc, nil)
 		} else {
-			ok = ctl.EnqueueRead(now, -1, req.addr, loc, memctrl.ReadPrefetch, nil)
+			ok = ctl.EnqueueRead(now, src, req.addr, loc, memctrl.ReadPrefetch, nil)
 		}
 		if !ok {
 			return
@@ -339,6 +412,9 @@ func (s *System) resetStats(now uint64) {
 		l1.Stats.Reset()
 	}
 	s.demandMisses = 0
+	for i := range s.tenantMisses {
+		s.tenantMisses[i] = 0
+	}
 }
 
 // primeCaches installs a steady-state content sample into the L2:
@@ -350,49 +426,62 @@ func (s *System) resetStats(now uint64) {
 // content is statistically just such a sample, so installing it
 // directly is equivalent and ~1000x faster. The short functional
 // warmup that follows settles L1s and LRU order.
+//
+// Multi-tenant systems split the installed sample in proportion to
+// each tenant's core share — the same proportional cache occupancy an
+// unmanaged shared LLC converges to under equal per-core pressure.
 func (s *System) primeCaches() {
-	p := s.cfg.Profile
-	layout := workload.NewLayout(p)
-	rng := newPrimeRNG(s.cfg.Seed)
-	block := uint64(s.cfg.L2.BlockBytes)
-	d := p.Derived()
-	// Install-history mixture: a miss is a stream-burst block with
-	// probability fs, else a cold block. Stream blocks arrive in
-	// sequential dirty runs (store-dominated bursts), cold blocks are
-	// scattered and dirty with the store fraction. Replaying 1.2x the
-	// L2 capacity of such installs reproduces the steady-state
-	// content, dirtiness and LRU grouping of a long warmup.
-	streamShare := 0.0
-	if total := d.PCold + d.PBurstStart*d.BurstLen; total > 0 {
-		streamShare = d.PBurstStart * d.BurstLen / total
-	}
-	burstDirty := p.BurstStoreFraction
-	if burstDirty == 0 {
-		burstDirty = p.StoreFraction
-	}
-	installs := s.cfg.L2.SizeBytes / s.cfg.L2.BlockBytes * 6 / 5
-	for i := 0; i < installs; {
-		if rng.float() < streamShare {
-			run := int(d.BurstLen)
-			if run < 1 {
-				run = 1
-			}
-			start := layout.StreamBase + (rng.next()%layout.StreamSize)&^(block-1)
-			for j := 0; j < run && i < installs; j++ {
-				s.l2.Install(start+uint64(j)*block, rng.float() < burstDirty)
+	totalCores := len(s.cores)
+	for ti := range s.tenants {
+		rt := &s.tenants[ti]
+		p := rt.profile
+		layout := rt.layout
+		rng := newPrimeRNG(s.cfg.Seed ^ tenantSalt(ti))
+		block := uint64(s.cfg.L2.BlockBytes)
+		d := p.Derived()
+		// Install-history mixture: a miss is a stream-burst block with
+		// probability fs, else a cold block. Stream blocks arrive in
+		// sequential dirty runs (store-dominated bursts), cold blocks
+		// are scattered and dirty with the store fraction. Replaying
+		// 1.2x the L2 capacity of such installs reproduces the
+		// steady-state content, dirtiness and LRU grouping of a long
+		// warmup.
+		streamShare := 0.0
+		if total := d.PCold + d.PBurstStart*d.BurstLen; total > 0 {
+			streamShare = d.PBurstStart * d.BurstLen / total
+		}
+		burstDirty := p.BurstStoreFraction
+		if burstDirty == 0 {
+			burstDirty = p.StoreFraction
+		}
+		installs := s.cfg.L2.SizeBytes / s.cfg.L2.BlockBytes * 6 / 5 * p.Cores / totalCores
+		for i := 0; i < installs; {
+			if rng.float() < streamShare {
+				run := int(d.BurstLen)
+				if run < 1 {
+					run = 1
+				}
+				start := layout.StreamBase + (rng.next()%layout.StreamSize)&^(block-1)
+				for j := 0; j < run && i < installs; j++ {
+					s.l2.Install(start+uint64(j)*block, rng.float() < burstDirty)
+					i++
+				}
+			} else {
+				addr := layout.ColdBase + (rng.next()%layout.ColdSize)&^(block-1)
+				s.l2.Install(addr, rng.float() < p.StoreFraction)
 				i++
 			}
-		} else {
-			addr := layout.ColdBase + (rng.next()%layout.ColdSize)&^(block-1)
-			s.l2.Install(addr, rng.float() < p.StoreFraction)
-			i++
 		}
 	}
 	// Hot regions last: resident and most recently used.
-	for core := 0; core < p.Cores; core++ {
-		base := layout.HotBase + uint64(core)*layout.HotStride
-		for off := uint64(0); off < layout.HotStride; off += block {
-			s.l2.Install(base+off, false)
+	for ti := range s.tenants {
+		rt := &s.tenants[ti]
+		block := uint64(s.cfg.L2.BlockBytes)
+		for core := 0; core < rt.profile.Cores; core++ {
+			base := rt.layout.HotBase + uint64(core)*rt.layout.HotStride
+			for off := uint64(0); off < rt.layout.HotStride; off += block {
+				s.l2.Install(base+off, false)
+			}
 		}
 	}
 }
@@ -499,8 +588,10 @@ func (s *System) horizon() uint64 {
 // cycles were skipped; when it returns false the caller must Step. The
 // skipped cycles are provably inert: every core is stalled (their
 // stall counters are applied in bulk), every controller is inside its
-// own event horizon, no fill is due, and the IO agent's per-cycle
-// injection draws are replayed exactly by Scan.
+// own event horizon, no fill is due, and each IO agent's per-cycle
+// injection draws are replayed exactly by Scan/Skip — a jump cut short
+// by one agent leaves the others' scanned-silent windows to be
+// absorbed by their later Next calls.
 func (s *System) fastForward(limit uint64) bool {
 	h := s.horizon()
 	if h > limit {
@@ -510,14 +601,21 @@ func (s *System) fastForward(limit uint64) bool {
 		return false
 	}
 	n := h - s.cycle
-	if s.io != nil {
-		idle, fired := s.io.Scan(n)
+	for _, a := range s.ios {
+		idle, fired := a.Scan(n)
 		if fired && idle == 0 {
-			return false
+			n = 0
+			break
 		}
 		if idle < n {
 			n = idle
 		}
+	}
+	if n == 0 {
+		return false
+	}
+	for _, a := range s.ios {
+		a.Skip(n)
 	}
 	to := s.cycle + n
 	for _, c := range s.cores {
@@ -616,5 +714,53 @@ func (s *System) collect(endCycle uint64) Metrics {
 	if actTotal > 0 {
 		m.SingleAccessFrac = float64(act1) / float64(actTotal)
 	}
+	if s.cfg.multiTenant() {
+		m.Tenants = s.collectTenants()
+	}
 	return m
+}
+
+// collectTenants assembles the per-tenant breakdown (multi-tenant runs
+// only; solo Metrics are unchanged from the single-tenant simulator).
+func (s *System) collectTenants() []TenantMetrics {
+	out := make([]TenantMetrics, len(s.tenants))
+	for ti := range s.tenants {
+		rt := &s.tenants[ti]
+		tm := TenantMetrics{
+			Tenant: ti,
+			Name:   rt.spec.Label(),
+			Cores:  rt.profile.Cores,
+		}
+		for c := rt.firstCore; c < rt.firstCore+rt.profile.Cores; c++ {
+			tm.Retired += s.cores[c].Stats.Retired
+		}
+		tm.IPC = float64(tm.Retired) / float64(s.cfg.MeasureCycles)
+		tm.DemandMisses = s.tenantMisses[ti]
+		if tm.Retired > 0 {
+			tm.MPKI = float64(tm.DemandMisses) / (float64(tm.Retired) / 1000)
+		}
+		var latSum uint64
+		for _, ctl := range s.ctrls {
+			ts := ctl.TenantStatsSlice()
+			if ti >= len(ts) {
+				continue
+			}
+			st := &ts[ti]
+			tm.ReadsServed += st.ReadsServed
+			tm.WritesServed += st.WritesServed
+			tm.RowHits += st.RowHits
+			tm.RowMisses += st.RowMisses
+			tm.RowConflicts += st.RowConflicts
+			latSum += st.ReadLatencySum
+		}
+		if tm.ReadsServed > 0 {
+			tm.AvgReadLatency = float64(latSum)/float64(tm.ReadsServed) +
+				float64(s.cfg.MemPathLatency) + float64(s.cfg.L2HitLatency)
+		}
+		if total := tm.RowHits + tm.RowMisses + tm.RowConflicts; total > 0 {
+			tm.RowHitRate = float64(tm.RowHits) / float64(total)
+		}
+		out[ti] = tm
+	}
+	return out
 }

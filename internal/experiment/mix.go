@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cloudmc/internal/core"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+)
+
+// RunMix executes (or returns the cached metrics of) one colocation
+// run. Mix cells live in the same memoized, single-flighted cache as
+// the solo figure grid; the key is the mix name.
+func (s *Study) RunMix(m tenant.Mix, k runKey) core.Metrics {
+	k.workload = "mix:" + m.Name
+	return s.do(k, func() core.Metrics {
+		cfg := core.DefaultMixConfig(m)
+		s.applyStudyConfig(&cfg, k)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: mix %s: %v", m.Name, err))
+		}
+		return sys.Run()
+	})
+}
+
+// RunSolo executes (or returns the cached metrics of) a tenant's
+// fairness baseline: the tenant's profile alone on the machine with
+// the same core allocation it holds inside a mix. The cache key
+// includes the core count, so every mix containing the same tenant
+// spec shares one baseline simulation.
+func (s *Study) RunSolo(sp tenant.Spec, k runKey) core.Metrics {
+	p := sp.Adjusted()
+	k.workload = p.Acronym
+	k.cores = p.Cores
+	return s.do(k, func() core.Metrics {
+		sys, err := core.NewSystem(s.systemConfig(p, k))
+		if err != nil {
+			panic(fmt.Sprintf("experiment: solo %s/%dc: %v", p.Acronym, p.Cores, err))
+		}
+		return sys.Run()
+	})
+}
+
+// MixResult is one evaluated colocation cell: the shared-machine run,
+// the per-tenant solo baselines, and the derived fairness summary.
+type MixResult struct {
+	Mix       tenant.Mix
+	Scheduler sched.Kind
+	Channels  int
+	// Shared is the mix run; Shared.Tenants carries the per-tenant
+	// breakdown.
+	Shared core.Metrics
+	// SoloIPC is each tenant's baseline throughput running alone on
+	// its core allocation, in mix order.
+	SoloIPC []float64
+	// Fairness derives slowdowns and speedups from SoloIPC and the
+	// shared per-tenant IPCs.
+	Fairness tenant.Fairness
+}
+
+// MixStudy sweeps colocation mixes across schedulers and channel
+// counts, sharing one Study cache so solo baselines are simulated once
+// per (tenant, scheduler, channels) no matter how many mixes they
+// appear in.
+type MixStudy struct {
+	study    *Study
+	mixes    []tenant.Mix
+	scheds   []sched.Kind
+	channels []int
+}
+
+// NewMixStudy builds a mix study. Nil mixes defaults to
+// tenant.StudyMixes(), nil schedulers to FR-FCFS and ATLAS, and nil
+// channels to {1}.
+func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels []int) *MixStudy {
+	if mixes == nil {
+		mixes = tenant.StudyMixes()
+	}
+	if scheds == nil {
+		scheds = []sched.Kind{sched.FRFCFS, sched.ATLAS}
+	}
+	if channels == nil {
+		channels = []int{1}
+	}
+	seen := make(map[string]bool, len(mixes))
+	for _, m := range mixes {
+		if seen[m.Name] {
+			panic(fmt.Sprintf("experiment: duplicate mix name %q in study (names key the run cache)", m.Name))
+		}
+		seen[m.Name] = true
+	}
+	return &MixStudy{
+		study:    NewStudy(cfg),
+		mixes:    mixes,
+		scheds:   scheds,
+		channels: channels,
+	}
+}
+
+// Study exposes the underlying memoized study (tests inspect its
+// simulation count).
+func (ms *MixStudy) Study() *Study { return ms.study }
+
+// cellKey is the baseline run key for one (scheduler, channels) axis
+// point.
+func cellKey(k sched.Kind, channels int) runKey {
+	key := baselineKey("")
+	key.scheduler = k
+	key.channels = channels
+	return key
+}
+
+// Results evaluates the whole sweep in parallel and returns one
+// MixResult per (mix, scheduler, channels) cell, in mix-major order.
+func (ms *MixStudy) Results() []MixResult {
+	// Materialize every cell (mix runs and solo baselines) in one
+	// parallel wave; the cache deduplicates shared baselines.
+	var cells []func()
+	for _, m := range ms.mixes {
+		for _, k := range ms.scheds {
+			for _, ch := range ms.channels {
+				m, k, ch := m, k, ch
+				cells = append(cells, func() { ms.study.RunMix(m, cellKey(k, ch)) })
+				for _, sp := range m.Tenants {
+					sp := sp
+					cells = append(cells, func() { ms.study.RunSolo(sp, cellKey(k, ch)) })
+				}
+			}
+		}
+	}
+	ms.study.runAll(cells)
+
+	var out []MixResult
+	for _, m := range ms.mixes {
+		for _, k := range ms.scheds {
+			for _, ch := range ms.channels {
+				key := cellKey(k, ch)
+				shared := ms.study.RunMix(m, key)
+				res := MixResult{Mix: m, Scheduler: k, Channels: ch, Shared: shared}
+				sharedIPC := make([]float64, len(m.Tenants))
+				for i := range m.Tenants {
+					sharedIPC[i] = shared.Tenants[i].IPC
+					res.SoloIPC = append(res.SoloIPC, ms.study.RunSolo(m.Tenants[i], key).UserIPC)
+				}
+				res.Fairness = tenant.ComputeFairness(res.SoloIPC, sharedIPC)
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}
+
+// FairnessTable renders the sweep as one Table per the paper's format:
+// rows are mixes, columns are (scheduler, metric) pairs with weighted
+// speedup, harmonic speedup and max slowdown, at the first configured
+// channel count.
+func (ms *MixStudy) FairnessTable(results []MixResult) *Table {
+	ch := ms.channels[0]
+	t := &Table{
+		ID:    "Fairness",
+		Title: fmt.Sprintf("colocation fairness, %d channel(s)", ch),
+		Note:  "WS = weighted speedup (ntenants is ideal), HS = harmonic speedup (1 is ideal), MaxSlow = max per-tenant slowdown vs solo",
+	}
+	for _, k := range ms.scheds {
+		t.Cols = append(t.Cols, k.String()+" WS", k.String()+" HS", k.String()+" MaxSlow")
+	}
+	for _, m := range ms.mixes {
+		t.Rows = append(t.Rows, m.Name)
+		row := make([]float64, 0, len(t.Cols))
+		for _, k := range ms.scheds {
+			for _, r := range results {
+				if r.Mix.Name == m.Name && r.Scheduler == k && r.Channels == ch {
+					row = append(row, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
+					break
+				}
+			}
+		}
+		t.Values = append(t.Values, row)
+	}
+	return t
+}

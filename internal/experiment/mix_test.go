@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"testing"
+
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+// tinyMixConfig keeps paired mix+solo simulations fast.
+func tinyMixConfig() Config {
+	return Config{
+		MeasureCycles: 40_000,
+		WarmupCycles:  8_000,
+		Seed:          1,
+	}
+}
+
+// TestMixStudySharesSoloBaselines: two mixes containing the same
+// tenant spec must share one solo-baseline simulation via the study
+// cache. Cells: 2 mixes + 3 unique (tenant, cores) baselines = 5
+// simulations, not 2 + 4.
+func TestMixStudySharesSoloBaselines(t *testing.T) {
+	ds := workload.DataServing()
+	mixes := []tenant.Mix{
+		tenant.Pair(ds, workload.MemoryHog(), 8),
+		tenant.Pair(ds, workload.WebSearch(), 8),
+	}
+	ms := NewMixStudy(tinyMixConfig(), mixes, []sched.Kind{sched.FRFCFS}, []int{1})
+	results := ms.Results()
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if got := ms.Study().Simulations(); got != 5 {
+		t.Fatalf("simulations = %d, want 5 (2 mixes + 3 shared baselines)", got)
+	}
+	// Re-running must be pure cache.
+	ms.Results()
+	if got := ms.Study().Simulations(); got != 5 {
+		t.Fatalf("re-run simulated again: %d", got)
+	}
+	for _, r := range results {
+		if len(r.Fairness.Slowdowns) != 2 || len(r.SoloIPC) != 2 {
+			t.Fatalf("fairness shape wrong: %+v", r.Fairness)
+		}
+		for i, s := range r.Fairness.Slowdowns {
+			if s <= 0 {
+				t.Fatalf("mix %s tenant %d slowdown %v", r.Mix.Name, i, s)
+			}
+		}
+		if r.Fairness.MaxSlowdown < 1.0 {
+			t.Fatalf("mix %s max slowdown %v < 1; colocation cannot speed tenants up", r.Mix.Name, r.Fairness.MaxSlowdown)
+		}
+	}
+}
+
+// TestFairnessTableShape: rows per mix, three columns per scheduler.
+func TestFairnessTableShape(t *testing.T) {
+	mixes := []tenant.Mix{tenant.Pair(workload.WebSearch(), workload.TPCHQ6(), 8)}
+	scheds := []sched.Kind{sched.FRFCFS, sched.ATLAS}
+	ms := NewMixStudy(tinyMixConfig(), mixes, scheds, []int{1})
+	results := ms.Results()
+	tab := ms.FairnessTable(results)
+	if len(tab.Rows) != 1 || tab.Rows[0] != "WS:8+TPCH-Q6:8" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if len(tab.Cols) != 6 {
+		t.Fatalf("cols = %v, want 3 per scheduler", tab.Cols)
+	}
+	if len(tab.Values[0]) != 6 {
+		t.Fatalf("value row width %d", len(tab.Values[0]))
+	}
+	if out := tab.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -56,9 +56,13 @@ func (c Config) workloads() []workload.Profile {
 
 // runKey identifies one simulation in the study cache. Figures share
 // runs (the FR-FCFS/OAPM/1-channel baseline appears in most grids), so
-// the Study memoizes by key.
+// the Study memoizes by key. Colocation cells reuse the same cache:
+// mix runs key on the mix name (workload = "mix:<name>"), and solo
+// fairness baselines key on (acronym, cores), letting every mix that
+// contains the same tenant share one baseline simulation.
 type runKey struct {
 	workload  string
+	cores     int // tenant core allocation; 0 = the profile's default
 	scheduler sched.Kind
 	page      string
 	mapping   addrmap.Scheme
@@ -86,9 +90,24 @@ func NewStudy(cfg Config) *Study {
 	}
 }
 
+// Simulations returns the number of actual simulator runs so far
+// (cache hits excluded).
+func (s *Study) Simulations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulations
+}
+
 // baseline describes the Table 2 configuration for one workload.
 func (s *Study) systemConfig(p workload.Profile, k runKey) core.Config {
 	cfg := core.DefaultConfig(p)
+	s.applyStudyConfig(&cfg, k)
+	return cfg
+}
+
+// applyStudyConfig overlays the study's scale and the cell's
+// configuration axes onto a default system config.
+func (s *Study) applyStudyConfig(cfg *core.Config, k runKey) {
 	cfg.Scheduler = k.scheduler
 	cfg.PagePolicy = k.page
 	cfg.Mapping = k.mapping
@@ -113,7 +132,6 @@ func (s *Study) systemConfig(p workload.Profile, k runKey) core.Config {
 		StarvationThreshold: quantum / 8,
 		ScanDepth:           2,
 	}
-	return cfg
 }
 
 func baselineKey(acr string) runKey {
@@ -133,6 +151,18 @@ func baselineKey(acr string) runKey {
 // redundantly simulating the same configuration.
 func (s *Study) Run(p workload.Profile, k runKey) core.Metrics {
 	k.workload = p.Acronym
+	return s.do(k, func() core.Metrics {
+		sys, err := core.NewSystem(s.systemConfig(p, k))
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %s: %v", p.Acronym, err))
+		}
+		return sys.Run()
+	})
+}
+
+// do memoizes and single-flights one cache cell around an arbitrary
+// simulation closure; Run, RunSolo and RunMix all funnel through it.
+func (s *Study) do(k runKey, sim func() core.Metrics) core.Metrics {
 	s.mu.Lock()
 	for {
 		if m, ok := s.cache[k]; ok {
@@ -160,11 +190,7 @@ func (s *Study) Run(p workload.Profile, k runKey) core.Metrics {
 		close(done)
 	}()
 
-	sys, err := core.NewSystem(s.systemConfig(p, k))
-	if err != nil {
-		panic(fmt.Sprintf("experiment: %s: %v", p.Acronym, err))
-	}
-	m := sys.Run()
+	m := sim()
 
 	s.mu.Lock()
 	s.cache[k] = m

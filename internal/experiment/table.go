@@ -45,13 +45,19 @@ func (t *Table) Render() string {
 			width = len(c) + 2
 		}
 	}
-	fmt.Fprintf(&sb, "%-10s", "")
+	rowWidth := 10
+	for _, r := range t.Rows {
+		if len(r)+1 > rowWidth {
+			rowWidth = len(r) + 1
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", rowWidth, "")
 	for _, c := range t.Cols {
 		fmt.Fprintf(&sb, "%*s", width, c)
 	}
 	sb.WriteByte('\n')
 	for i, r := range t.Rows {
-		fmt.Fprintf(&sb, "%-10s", r)
+		fmt.Fprintf(&sb, "%-*s", rowWidth, r)
 		for j := range t.Cols {
 			sb.WriteString(t.cell(i, j, width))
 		}

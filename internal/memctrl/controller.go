@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cloudmc/internal/dram"
 	"cloudmc/internal/pagepolicy"
@@ -92,6 +93,31 @@ func (s *Stats) RowHitRate() float64 {
 	return float64(s.RowHits) / float64(total)
 }
 
+// TenantStats accumulates one tenant's share of the controller
+// statistics; enabled by TrackTenants and indexed by Request.Tenant.
+type TenantStats struct {
+	// ReadsServed and WritesServed count completed transfers.
+	ReadsServed  uint64
+	WritesServed uint64
+	// ReadLatencySum is the summed queue+service latency of the
+	// tenant's served reads (divide by ReadsServed for the mean).
+	ReadLatencySum uint64
+	// RowHits/RowMisses/RowConflicts classify the tenant's column
+	// accesses like the controller-wide counters.
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+}
+
+// RowHitRate returns hits / (hits + misses + conflicts).
+func (s *TenantStats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
 // completion is an in-flight data transfer.
 type completion struct {
 	at  uint64
@@ -130,18 +156,82 @@ type Controller struct {
 	// run the full tick"; it is reset whenever a request is enqueued.
 	wakeAt uint64
 
-	// scratch buffers reused across cycles to avoid allocation.
+	// scratch buffers reused across cycles to avoid allocation. The
+	// (rank, bank, row) request grouping and the per-bank oldest-ID
+	// index are rebuilt every busy tick; map hashing dominated the
+	// busy-cycle profile, so both use epoch-stamped open addressing
+	// (no per-tick clearing, no runtime map machinery).
 	optBuf     []Option
 	view       View
-	groups     map[groupKey]*Request
-	gkOrder    []groupKey
-	bankOldest map[int]uint64
+	groups     groupTable
+	gkOrder    []uint32 // slot indices into groups, insertion order
+	bankOldest []uint64 // per bankIdx; valid iff bankEpoch matches
+	bankEpoch  []uint32
+
+	// tenants holds per-tenant accounting when TrackTenants enabled it
+	// (multi-tenant systems); nil otherwise.
+	tenants []TenantStats
 
 	Stats Stats
 }
 
-type groupKey struct {
-	rank, bank, row int
+// groupTable indexes queued requests by (bankIdx, row), keeping the
+// oldest request of each group. Slots are invalidated wholesale by
+// bumping the epoch; load factor stays at or below 50% because the
+// table is sized by the queue capacities.
+type groupTable struct {
+	slots []groupSlot
+	mask  uint64
+	shift uint
+	epoch uint32
+}
+
+type groupSlot struct {
+	key   uint64
+	epoch uint32
+	req   *Request
+}
+
+// newGroupTable sizes the table for at most maxGroups resident
+// entries: the smallest power of two >= 2*maxGroups (minimum 8),
+// keeping the load factor at or below 50%.
+func newGroupTable(maxGroups int) groupTable {
+	n := uint(bits.Len64(2*uint64(maxGroups) - 1))
+	if n < 3 {
+		n = 3
+	}
+	return groupTable{slots: make([]groupSlot, uint64(1)<<n), mask: uint64(1)<<n - 1, shift: 64 - n}
+}
+
+// reset invalidates every slot in O(1) by advancing the epoch. It
+// reports whether the epoch wrapped, so callers can clear their own
+// epoch-stamped side tables in the same (once per 2^32 resets) stroke.
+func (t *groupTable) reset() (wrapped bool) {
+	t.epoch++
+	if t.epoch == 0 {
+		// Wrapped: stale slots could alias the new epoch; clear once
+		// every 2^32 resets.
+		for i := range t.slots {
+			t.slots[i] = groupSlot{}
+		}
+		t.epoch = 1
+		wrapped = true
+	}
+	return wrapped
+}
+
+// slot returns the slot index for key, probing past live entries with
+// other keys; the returned slot either matches key or is free this
+// epoch.
+func (t *groupTable) slot(key uint64) uint32 {
+	i := (key * 0x9e3779b97f4a7c15) >> t.shift
+	for {
+		s := &t.slots[i]
+		if s.epoch != t.epoch || s.key == key {
+			return uint32(i)
+		}
+		i = (i + 1) & t.mask
+	}
 }
 
 // New builds a controller for channel ch with the given scheduling and
@@ -153,14 +243,16 @@ func New(cfg Config, ch *dram.Channel, policy Policy, page pagepolicy.Policy) (*
 	if ch == nil || policy == nil || page == nil {
 		return nil, fmt.Errorf("memctrl: nil channel, policy, or page policy")
 	}
+	banks := ch.Geo.Ranks * ch.Geo.Banks
 	return &Controller{
 		cfg:          cfg,
 		ch:           ch,
 		policy:       policy,
 		page:         page,
-		pendingClose: make([]bool, ch.Geo.Ranks*ch.Geo.Banks),
-		groups:       make(map[groupKey]*Request),
-		bankOldest:   make(map[int]uint64),
+		pendingClose: make([]bool, banks),
+		groups:       newGroupTable(cfg.ReadQueueCap + cfg.WriteQueueCap),
+		bankOldest:   make([]uint64, banks),
+		bankEpoch:    make([]uint32, banks),
 	}, nil
 }
 
@@ -195,7 +287,7 @@ func (c *Controller) Pending() int {
 // full; the caller must retry later (modelling backpressure into the
 // cache hierarchy). Reads that match a queued write's address are
 // served by forwarding without touching DRAM.
-func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Location, kind RequestKind, onDone func(uint64)) bool {
+func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.Location, kind RequestKind, onDone func(uint64)) bool {
 	if kind.IsWrite() {
 		panic("memctrl: EnqueueRead called with a write kind")
 	}
@@ -203,7 +295,7 @@ func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Loc
 		if w.Addr == addr {
 			c.Stats.ForwardedReads++
 			r := &Request{
-				ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+				ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
 				Kind: kind, Arrival: now, OnDone: onDone,
 			}
 			c.nextID++
@@ -216,7 +308,7 @@ func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Loc
 		return false
 	}
 	r := &Request{
-		ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+		ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
 		Kind: kind, Arrival: now, OnDone: onDone,
 	}
 	c.nextID++
@@ -228,7 +320,7 @@ func (c *Controller) EnqueueRead(now uint64, core int, addr uint64, loc dram.Loc
 
 // EnqueueWrite queues a writeback. It returns false when the write
 // queue is full. A write to an address already queued is merged.
-func (c *Controller) EnqueueWrite(now uint64, core int, addr uint64, loc dram.Location, onDone func(uint64)) bool {
+func (c *Controller) EnqueueWrite(now uint64, src Source, addr uint64, loc dram.Location, onDone func(uint64)) bool {
 	for _, w := range c.writeQ {
 		if w.Addr == addr {
 			// Coalesce: the queued write already covers this block.
@@ -243,7 +335,7 @@ func (c *Controller) EnqueueWrite(now uint64, core int, addr uint64, loc dram.Lo
 		return false
 	}
 	r := &Request{
-		ID: c.nextID, Core: core, Addr: addr, Loc: loc,
+		ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
 		Kind: WriteBack, Arrival: now, OnDone: onDone,
 	}
 	c.nextID++
@@ -281,11 +373,19 @@ func (c *Controller) Tick(now uint64) {
 	for len(c.inflight) > 0 && c.inflight[0].at <= now {
 		done := c.inflight[0]
 		c.inflight = c.inflight[1:]
+		ts := c.tenantStatsFor(done.req)
 		if !done.req.Kind.IsWrite() {
 			c.Stats.ReadsServed++
 			c.Stats.ReadLatency.Add(done.at - done.req.Arrival)
+			if ts != nil {
+				ts.ReadsServed++
+				ts.ReadLatencySum += done.at - done.req.Arrival
+			}
 		} else {
 			c.Stats.WritesServed++
+			if ts != nil {
+				ts.WritesServed++
+			}
 		}
 		if done.req.OnDone != nil {
 			done.req.OnDone(now)
@@ -474,25 +574,30 @@ func (c *Controller) consideredQueues(mixed bool) (primary, secondary []*Request
 // at most one command per group.
 func (c *Controller) buildOptions(now uint64, mixed bool) {
 	c.optBuf = c.optBuf[:0]
-	for k := range c.groups {
-		delete(c.groups, k)
-	}
-	for k := range c.bankOldest {
-		delete(c.bankOldest, k)
+	if c.groups.reset() {
+		// bankEpoch is stamped with groups.epoch; a wrap makes ancient
+		// stamps alias the fresh epoch, so clear them together.
+		for i := range c.bankEpoch {
+			c.bankEpoch[i] = 0
+		}
 	}
 	c.gkOrder = c.gkOrder[:0]
+	epoch := c.groups.epoch
 
 	collect := func(q []*Request) {
 		for _, r := range q {
-			k := groupKey{r.Loc.Rank, r.Loc.Bank, r.Loc.Row}
-			if prev, ok := c.groups[k]; !ok || r.ID < prev.ID {
-				if !ok {
-					c.gkOrder = append(c.gkOrder, k)
-				}
-				c.groups[k] = r
-			}
 			bk := r.Loc.Rank*c.ch.Geo.Banks + r.Loc.Bank
-			if prev, ok := c.bankOldest[bk]; !ok || r.ID < prev {
+			key := uint64(bk)<<32 | uint64(uint32(r.Loc.Row))
+			si := c.groups.slot(key)
+			s := &c.groups.slots[si]
+			if s.epoch != epoch {
+				*s = groupSlot{key: key, epoch: epoch, req: r}
+				c.gkOrder = append(c.gkOrder, si)
+			} else if r.ID < s.req.ID {
+				s.req = r
+			}
+			if c.bankEpoch[bk] != epoch || r.ID < c.bankOldest[bk] {
+				c.bankEpoch[bk] = epoch
 				c.bankOldest[bk] = r.ID
 			}
 		}
@@ -504,28 +609,31 @@ func (c *Controller) buildOptions(now uint64, mixed bool) {
 		collect(secondary)
 	}
 
-	for _, k := range c.gkOrder {
-		r := c.groups[k]
-		oldest := c.bankOldest[k.rank*c.ch.Geo.Banks+k.bank]
-		bank := c.ch.Bank(k.rank, k.bank)
+	for _, si := range c.gkOrder {
+		r := c.groups.slots[si].req
+		// The group's (rank, bank, row) is the representative
+		// request's own location.
+		loc := r.Loc
+		oldest := c.bankOldest[loc.Rank*c.ch.Geo.Banks+loc.Bank]
+		bank := c.ch.Bank(loc.Rank, loc.Bank)
 		switch {
 		case bank.State == dram.BankIdle:
-			cmd := dram.Command{Kind: dram.CmdActivate, Loc: r.Loc}
+			cmd := dram.Command{Kind: dram.CmdActivate, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
 				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
 			}
-		case bank.OpenRow == k.row:
+		case bank.OpenRow == loc.Row:
 			pendingHits++
 			kind := dram.CmdRead
 			if r.Kind.IsWrite() {
 				kind = dram.CmdWrite
 			}
-			cmd := dram.Command{Kind: kind, Loc: r.Loc}
+			cmd := dram.Command{Kind: kind, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
 				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, RowHit: true, BankOldestID: oldest})
 			}
 		default:
-			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: r.Loc}
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
 				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
 			}
@@ -586,15 +694,49 @@ func (c *Controller) issue(now uint64, opt Option) {
 
 // classify files the row-buffer outcome of a column access.
 func (c *Controller) classify(r *Request) {
+	ts := c.tenantStatsFor(r)
 	switch {
 	case r.triggeredConflict:
 		c.Stats.RowConflicts++
+		if ts != nil {
+			ts.RowConflicts++
+		}
 	case r.triggeredActivate:
 		c.Stats.RowMisses++
+		if ts != nil {
+			ts.RowMisses++
+		}
 	default:
 		c.Stats.RowHits++
+		if ts != nil {
+			ts.RowHits++
+		}
 	}
 }
+
+// tenantStatsFor returns the per-tenant accumulator for a request, or
+// nil when tracking is off or the request is unattributed.
+func (c *Controller) tenantStatsFor(r *Request) *TenantStats {
+	if r.Tenant < 0 || r.Tenant >= len(c.tenants) {
+		return nil
+	}
+	return &c.tenants[r.Tenant]
+}
+
+// TrackTenants allocates per-tenant accounting for tenants [0, n);
+// multi-tenant systems call it once at construction. Zero disables
+// tracking.
+func (c *Controller) TrackTenants(n int) {
+	if n <= 0 {
+		c.tenants = nil
+		return
+	}
+	c.tenants = make([]TenantStats, n)
+}
+
+// TenantStatsSlice exposes the per-tenant accumulators (nil when
+// tracking is off).
+func (c *Controller) TenantStatsSlice() []TenantStats { return c.tenants }
 
 // pendingForRow counts queued requests that would hit loc's row (same)
 // and queued requests to the same bank needing another row (other).
@@ -690,4 +832,7 @@ func (c *Controller) ResetStats(now uint64) {
 	c.Stats.ReadQ.Set(now, float64(len(c.readQ)))
 	c.Stats.WriteQ.Set(now, float64(len(c.writeQ)))
 	c.ch.Stats = dram.Stats{}
+	for i := range c.tenants {
+		c.tenants[i] = TenantStats{}
+	}
 }

@@ -68,7 +68,7 @@ func TestReadCompletesWithCallback(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewOpenAdaptive())
 	var doneAt uint64
 	l := rloc(0, 0, 3, 1)
-	if !ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, func(at uint64) { doneAt = at }) {
+	if !ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, func(at uint64) { doneAt = at }) {
 		t.Fatal("enqueue failed")
 	}
 	runCycles(ctl, 0, 300)
@@ -94,8 +94,8 @@ func TestRowHitClassification(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
 	l1 := rloc(0, 0, 3, 1)
 	l2 := rloc(0, 0, 3, 2) // same row: should hit
-	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
-	ctl.EnqueueRead(0, 2, addrFor(l2), l2, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l1), l1, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 2}, addrFor(l2), l2, ReadDemand, nil)
 	runCycles(ctl, 0, 400)
 	if ctl.Stats.RowHits != 1 || ctl.Stats.RowMisses != 1 {
 		t.Fatalf("hits=%d misses=%d", ctl.Stats.RowHits, ctl.Stats.RowMisses)
@@ -106,9 +106,9 @@ func TestRowConflictClassification(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
 	l1 := rloc(0, 0, 3, 1)
 	l2 := rloc(0, 0, 9, 2) // same bank, different row: conflict
-	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l1), l1, ReadDemand, nil)
 	runCycles(ctl, 0, 100)
-	ctl.EnqueueRead(100, 2, addrFor(l2), l2, ReadDemand, nil)
+	ctl.EnqueueRead(100, Source{Core: 2}, addrFor(l2), l2, ReadDemand, nil)
 	runCycles(ctl, 100, 500)
 	if ctl.Stats.RowConflicts != 1 {
 		t.Fatalf("conflicts=%d (hits=%d misses=%d)",
@@ -120,9 +120,9 @@ func TestWriteForwardingServesReadFromWriteQueue(t *testing.T) {
 	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
 	l := rloc(0, 1, 5, 0)
 	addr := addrFor(l)
-	ctl.EnqueueWrite(0, 1, addr, l, nil)
+	ctl.EnqueueWrite(0, Source{Core: 1}, addr, l, nil)
 	var done bool
-	ctl.EnqueueRead(1, 2, addr, l, ReadDemand, func(uint64) { done = true })
+	ctl.EnqueueRead(1, Source{Core: 2}, addr, l, ReadDemand, func(uint64) { done = true })
 	runCycles(ctl, 0, 20)
 	if !done {
 		t.Fatal("forwarded read not completed")
@@ -138,8 +138,8 @@ func TestWriteForwardingServesReadFromWriteQueue(t *testing.T) {
 func TestWriteCoalescing(t *testing.T) {
 	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
 	l := rloc(0, 1, 5, 0)
-	ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
-	ctl.EnqueueWrite(1, 1, addrFor(l), l, nil)
+	ctl.EnqueueWrite(0, Source{Core: 1}, addrFor(l), l, nil)
+	ctl.EnqueueWrite(1, Source{Core: 1}, addrFor(l), l, nil)
 	if _, w := ctl.QueueLens(); w != 1 {
 		t.Fatalf("write queue = %d, want 1 (coalesced)", w)
 	}
@@ -156,12 +156,12 @@ func TestBackpressureWhenReadQueueFull(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		l := rloc(0, 0, i+1, 0)
-		if !ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil) {
+		if !ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil) {
 			t.Fatalf("enqueue %d rejected early", i)
 		}
 	}
 	l := rloc(0, 0, 9, 0)
-	if ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil) {
+	if ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil) {
 		t.Fatal("enqueue accepted beyond capacity")
 	}
 	if ctl.Stats.EnqueueFailures != 1 {
@@ -182,7 +182,7 @@ func TestWriteDrainHysteresis(t *testing.T) {
 	// Keep a steady read supply and push writes past the watermark.
 	for i := 0; i < 8; i++ {
 		l := rloc(0, i%4, 100+i, 0)
-		ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
+		ctl.EnqueueWrite(0, Source{Core: 1}, addrFor(l), l, nil)
 	}
 	runCycles(ctl, 0, 2000)
 	if ctl.Stats.WritesServed < 6 {
@@ -196,7 +196,7 @@ func TestWriteDrainHysteresis(t *testing.T) {
 func TestOpportunisticWriteDrainWhenIdle(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewOpenAdaptive())
 	l := rloc(1, 2, 7, 0)
-	ctl.EnqueueWrite(0, 1, addrFor(l), l, nil)
+	ctl.EnqueueWrite(0, Source{Core: 1}, addrFor(l), l, nil)
 	runCycles(ctl, 0, 400)
 	if ctl.Stats.WritesServed != 1 {
 		t.Fatal("idle controller did not drain the lone write")
@@ -206,7 +206,7 @@ func TestOpportunisticWriteDrainWhenIdle(t *testing.T) {
 func TestPagePolicyCloseIsCounted(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewClose())
 	l := rloc(0, 0, 3, 1)
-	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil)
 	runCycles(ctl, 0, 500)
 	if ctl.Stats.PolicyCloses != 1 {
 		t.Fatalf("policy closes = %d, want 1", ctl.Stats.PolicyCloses)
@@ -220,7 +220,7 @@ func TestPagePolicyCloseIsCounted(t *testing.T) {
 func TestOpenPolicyLeavesRowOpen(t *testing.T) {
 	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
 	l := rloc(0, 0, 3, 1)
-	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil)
 	runCycles(ctl, 0, 500)
 	row, open := ctl.Channel().OpenRow(0, 0)
 	if !open || row != 3 {
@@ -237,13 +237,13 @@ func TestPendingCloseCancelledBySameRowArrival(t *testing.T) {
 	// row hit.
 	ctl := testController(t, frPolicy{}, pagepolicy.NewCloseAdaptive())
 	l1 := rloc(0, 0, 3, 1)
-	ctl.EnqueueRead(0, 1, addrFor(l1), l1, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l1), l1, ReadDemand, nil)
 	// Run just past the column access; tRTP has not elapsed.
 	tim := ctl.Channel().Tim
 	colAt := uint64(tim.RCD) + 2
 	runCycles(ctl, 0, colAt+1)
 	l2 := rloc(0, 0, 3, 2)
-	ctl.EnqueueRead(colAt+1, 2, addrFor(l2), l2, ReadDemand, nil)
+	ctl.EnqueueRead(colAt+1, Source{Core: 2}, addrFor(l2), l2, ReadDemand, nil)
 	runCycles(ctl, colAt+1, 600)
 	if ctl.Stats.RowHits != 1 {
 		t.Fatalf("hits = %d; pending close was not cancelled", ctl.Stats.RowHits)
@@ -254,7 +254,7 @@ func TestQueueLengthStats(t *testing.T) {
 	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
 	for i := 0; i < 4; i++ {
 		l := rloc(0, 0, i+1, 0)
-		ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+		ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil)
 	}
 	runCycles(ctl, 0, 100)
 	if got := ctl.Stats.ReadQ.Average(100); got < 3.9 {
@@ -265,7 +265,7 @@ func TestQueueLengthStats(t *testing.T) {
 func TestResetStatsPreservesQueueState(t *testing.T) {
 	ctl := testController(t, idlePolicy{}, pagepolicy.NewOpenAdaptive())
 	l := rloc(0, 0, 1, 0)
-	ctl.EnqueueRead(0, 1, addrFor(l), l, ReadDemand, nil)
+	ctl.EnqueueRead(0, Source{Core: 1}, addrFor(l), l, ReadDemand, nil)
 	runCycles(ctl, 0, 50)
 	ctl.ResetStats(50)
 	if r, _ := ctl.QueueLens(); r != 1 {

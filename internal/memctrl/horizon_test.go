@@ -38,11 +38,11 @@ func TestControllerNextEventSparse(t *testing.T) {
 			for idx < len(arrivals) && arrivals[idx].at == now {
 				a := arrivals[idx]
 				if a.write {
-					if !ctl.EnqueueWrite(now, 0, addrFor(a.l), a.l, func(at uint64) { completions = append(completions, at) }) {
+					if !ctl.EnqueueWrite(now, Source{Core: 0}, addrFor(a.l), a.l, func(at uint64) { completions = append(completions, at) }) {
 						t.Fatal("write rejected")
 					}
 				} else {
-					if !ctl.EnqueueRead(now, 0, addrFor(a.l), a.l, ReadDemand, func(at uint64) { completions = append(completions, at) }) {
+					if !ctl.EnqueueRead(now, Source{Core: 0}, addrFor(a.l), a.l, ReadDemand, func(at uint64) { completions = append(completions, at) }) {
 						t.Fatal("read rejected")
 					}
 				}
@@ -110,7 +110,7 @@ func TestNextEventIdleController(t *testing.T) {
 		t.Fatal("empty controller must not demand a tick every cycle")
 	}
 	l := rloc(0, 0, 1, 0)
-	ctl.EnqueueRead(5, 0, addrFor(l), l, ReadDemand, nil)
+	ctl.EnqueueRead(5, Source{Core: 0}, addrFor(l), l, ReadDemand, nil)
 	if got := ctl.NextEvent(5); got != 5 {
 		t.Fatalf("enqueue must reset the horizon: NextEvent = %d, want 5", got)
 	}

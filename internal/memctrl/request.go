@@ -43,6 +43,17 @@ func (k RequestKind) String() string {
 // IsWrite reports whether the request occupies the write queue.
 func (k RequestKind) IsWrite() bool { return k == WriteBack }
 
+// Source identifies where a request originated: the issuing core and
+// the tenant that owns the traffic. Solo (single-tenant) systems tag
+// everything with tenant 0.
+type Source struct {
+	// Core is the requesting core, or -1 for DMA/IO traffic.
+	Core int
+	// Tenant is the owning tenant, or -1 when the traffic cannot be
+	// attributed.
+	Tenant int
+}
+
 // Request is one memory transaction queued at a controller.
 type Request struct {
 	// ID is unique per controller, assigned at enqueue, and increases
@@ -50,6 +61,9 @@ type Request struct {
 	ID uint64
 	// Core is the requesting core (or -1 for DMA/IO traffic).
 	Core int
+	// Tenant is the owning tenant (or -1 for unattributed traffic);
+	// per-tenant accounting and tenant-aware scheduling key on it.
+	Tenant int
 	// Addr is the physical block address.
 	Addr uint64
 	// Loc is the decoded DRAM coordinate of Addr.

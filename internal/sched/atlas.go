@@ -127,11 +127,32 @@ func (t *ServiceTracker) Cores() int { return len(t.rank) - 1 }
 type ATLASPolicy struct {
 	cfg     ATLASConfig
 	tracker *ServiceTracker
+	// byTenant ranks by Request.Tenant instead of Request.Core
+	// (multi-tenant systems; the tracker is then sized per tenant).
+	byTenant bool
 }
 
-// NewATLAS returns an ATLAS policy sharing the given tracker.
+// NewATLAS returns an ATLAS policy sharing the given tracker, ranking
+// per core (the paper's configuration).
 func NewATLAS(cfg ATLASConfig, tracker *ServiceTracker) *ATLASPolicy {
 	return &ATLASPolicy{cfg: cfg, tracker: tracker}
+}
+
+// NewATLASTenants returns an ATLAS policy that accounts and ranks
+// attained service per tenant; the tracker must be sized with the
+// tenant count.
+func NewATLASTenants(cfg ATLASConfig, tracker *ServiceTracker) *ATLASPolicy {
+	return &ATLASPolicy{cfg: cfg, tracker: tracker, byTenant: true}
+}
+
+// slot maps a request to its service-tracker slot: its tenant in
+// tenant mode, its core otherwise; unattributed traffic folds into the
+// tracker's extra slot either way.
+func (p *ATLASPolicy) slot(r *memctrl.Request) int {
+	if p.byTenant {
+		return coreSlot(r.Tenant, p.tracker.Cores())
+	}
+	return coreSlot(r.Core, p.tracker.Cores())
 }
 
 // Name implements memctrl.Policy.
@@ -165,7 +186,7 @@ func (p *ATLASPolicy) OnIssue(v *memctrl.View, picked int, issued dram.Command, 
 		return
 	}
 	req := v.Options[picked].Req
-	p.tracker.AddService(coreSlot(req.Core, p.tracker.Cores()), 1)
+	p.tracker.AddService(p.slot(req), 1)
 }
 
 // Pick implements memctrl.Policy.
@@ -234,8 +255,8 @@ func (p *ATLASPolicy) nthByRank(v *memctrl.View, n int) *memctrl.Request {
 
 // before reports whether a precedes b in (rank, age) order.
 func (p *ATLASPolicy) before(a, b *memctrl.Request) bool {
-	ra := p.tracker.Rank(coreSlot(a.Core, p.tracker.Cores()))
-	rb := p.tracker.Rank(coreSlot(b.Core, p.tracker.Cores()))
+	ra := p.tracker.Rank(p.slot(a))
+	rb := p.tracker.Rank(p.slot(b))
 	if ra != rb {
 		return ra < rb
 	}

@@ -73,6 +73,12 @@ type Opts struct {
 	// Cores is the number of cores in the system (requests from DMA
 	// agents with core ID -1 are folded into an extra slot).
 	Cores int
+	// Tenants, when positive, switches ATLAS to tenant-granularity
+	// accounting: attained service is tracked and ranked per tenant
+	// (VM) rather than per core, the arbitration unit a multi-tenant
+	// cloud actually sells. Zero keeps the paper's per-core (per
+	// hardware thread) accounting.
+	Tenants int
 	// Seed feeds the RL scheduler's exploration stream.
 	Seed uint64
 	// ATLAS, PARBS and RL override algorithm parameters. The paper's
@@ -121,6 +127,10 @@ func NewFactoryOpts(kind Kind, opts Opts) Factory {
 	case PARBS:
 		return func(int) memctrl.Policy { return NewPARBS(opts.parbs(), opts.Cores) }
 	case ATLAS:
+		if opts.Tenants > 0 {
+			tracker := NewServiceTracker(opts.Tenants, opts.atlas())
+			return func(int) memctrl.Policy { return NewATLASTenants(opts.atlas(), tracker) }
+		}
 		tracker := NewServiceTracker(opts.Cores, opts.atlas())
 		return func(int) memctrl.Policy { return NewATLAS(opts.atlas(), tracker) }
 	case RL:

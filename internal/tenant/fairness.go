@@ -1,0 +1,63 @@
+package tenant
+
+import "math"
+
+// Fairness summarizes a mix run against per-tenant solo baselines.
+// With IPC_alone[i] the tenant's throughput running alone on the same
+// cores and IPC_shared[i] its throughput inside the mix:
+//
+//	slowdown[i]      = IPC_alone[i] / IPC_shared[i]
+//	weighted speedup = sum_i IPC_shared[i] / IPC_alone[i]
+//	harmonic speedup = N / sum_i slowdown[i]
+//	max slowdown     = max_i slowdown[i]
+//
+// Weighted speedup measures system throughput (N is the upper bound,
+// reached with zero interference), harmonic speedup balances
+// throughput and fairness, and max slowdown is the victim's-eye view
+// the memory-DoS literature reports.
+type Fairness struct {
+	// Slowdowns is per tenant, in mix order.
+	Slowdowns       []float64
+	WeightedSpeedup float64
+	HarmonicSpeedup float64
+	MaxSlowdown     float64
+}
+
+// ComputeFairness derives the fairness summary from per-tenant solo
+// and shared throughputs (same order, same length). A tenant with a
+// zero solo baseline is excluded (slowdown 0 — nothing to slow down).
+// A tenant with a positive baseline but zero shared throughput is a
+// fully starved victim — the worst DoS outcome, not a skip: its
+// slowdown and MaxSlowdown are +Inf, it contributes nothing to the
+// weighted speedup, and the harmonic speedup collapses to 0.
+func ComputeFairness(solo, shared []float64) Fairness {
+	if len(solo) != len(shared) {
+		panic("tenant: solo/shared length mismatch")
+	}
+	f := Fairness{Slowdowns: make([]float64, len(solo))}
+	var slowSum float64
+	n := 0
+	for i := range solo {
+		if solo[i] <= 0 {
+			continue
+		}
+		n++
+		if shared[i] <= 0 {
+			f.Slowdowns[i] = math.Inf(1)
+			f.MaxSlowdown = math.Inf(1)
+			slowSum = math.Inf(1)
+			continue
+		}
+		s := solo[i] / shared[i]
+		f.Slowdowns[i] = s
+		f.WeightedSpeedup += shared[i] / solo[i]
+		slowSum += s
+		if s > f.MaxSlowdown {
+			f.MaxSlowdown = s
+		}
+	}
+	if slowSum > 0 {
+		f.HarmonicSpeedup = float64(n) / slowSum
+	}
+	return f
+}

@@ -1,0 +1,161 @@
+// Package tenant describes multi-tenant colocation scenarios: how one
+// simulated machine's cores are partitioned among independent
+// workloads, and the fairness metrics (slowdown, weighted/harmonic
+// speedup, maximum slowdown) the interference literature evaluates
+// mixes with. The paper characterizes each cloud workload running
+// alone; multi-tenant clouds run them colocated, where a hostile
+// neighbor can slow a victim by an order of magnitude (Zhang et al.,
+// Memory DoS Attacks in Multi-tenant Clouds). This package supplies
+// the scenario vocabulary; package core runs the mixes and package
+// experiment studies them.
+package tenant
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudmc/internal/workload"
+)
+
+// Spec assigns a slice of the machine to one tenant.
+type Spec struct {
+	// Name labels the tenant in metrics and tables; empty defaults to
+	// the profile acronym.
+	Name string
+	// Profile is the tenant's workload.
+	Profile workload.Profile
+	// Cores is the number of cores the tenant owns on this machine;
+	// zero keeps the profile's own core count.
+	Cores int
+}
+
+// Label returns the display name.
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Profile.Acronym
+}
+
+// CoreCount returns the effective core allocation.
+func (s Spec) CoreCount() int {
+	if s.Cores > 0 {
+		return s.Cores
+	}
+	return s.Profile.Cores
+}
+
+// Adjusted returns the profile resized to the tenant's core
+// allocation; the per-core intensity pattern cycles over the allotted
+// cores exactly as it does over a full machine.
+func (s Spec) Adjusted() workload.Profile {
+	p := s.Profile
+	p.Cores = s.CoreCount()
+	return p
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	if s.Cores < 0 {
+		return fmt.Errorf("tenant %s: negative core count %d", s.Label(), s.Cores)
+	}
+	return s.Adjusted().Validate()
+}
+
+// Mix is one colocation scenario: the tenants sharing a machine.
+type Mix struct {
+	// Name identifies the mix in caches and tables; it must be unique
+	// within a study.
+	Name string
+	// Tenants lists the colocated workloads; core assignment follows
+	// slice order (tenant 0 gets cores [0, n0), tenant 1 the next n1,
+	// and so on).
+	Tenants []Spec
+}
+
+// NewMix builds a named mix; an empty name is derived by joining
+// label:cores pairs with '+' (e.g. "DS:8+HOG:8"). The core counts are
+// part of the derived name because study caches and result tables key
+// on it: two mixes differing only in core allocation must not collide.
+func NewMix(name string, tenants ...Spec) Mix {
+	m := Mix{Name: name, Tenants: tenants}
+	if m.Name == "" {
+		labels := make([]string, len(tenants))
+		for i, t := range tenants {
+			labels[i] = fmt.Sprintf("%s:%d", t.Label(), t.CoreCount())
+		}
+		m.Name = strings.Join(labels, "+")
+	}
+	return m
+}
+
+// Pair is the common two-tenant scenario: a and b each on `cores`
+// cores.
+func Pair(a, b workload.Profile, cores int) Mix {
+	return NewMix("",
+		Spec{Profile: a, Cores: cores},
+		Spec{Profile: b, Cores: cores},
+	)
+}
+
+// TotalCores sums the tenants' core allocations.
+func (m Mix) TotalCores() int {
+	total := 0
+	for _, t := range m.Tenants {
+		total += t.CoreCount()
+	}
+	return total
+}
+
+// Footprint sums the tenants' address-space footprints (region sizes
+// only; the core-side layout adds negligible alignment padding).
+func (m Mix) Footprint() uint64 {
+	var total uint64
+	for _, t := range m.Tenants {
+		p := t.Adjusted()
+		total += workload.NewLayout(p).Limit
+	}
+	return total
+}
+
+// Validate reports the first problem with the mix.
+func (m Mix) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("tenant: mix has no name")
+	}
+	if len(m.Tenants) < 2 {
+		return fmt.Errorf("tenant: mix %s needs at least two tenants", m.Name)
+	}
+	for _, t := range m.Tenants {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// StudyMixes returns the canonical colocation scenarios of the
+// fairness study: same-category pairs, cross-category pairs, two
+// adversary (MemoryHog) pairs, and one four-way mix. Every pair splits
+// the 16-core pod evenly; the four-way mix gives each tenant four
+// cores.
+func StudyMixes() []Mix {
+	pair := func(a, b workload.Profile) Mix { return Pair(a, b, 8) }
+	return []Mix{
+		pair(workload.DataServing(), workload.MapReduce()),
+		pair(workload.WebSearch(), workload.TPCHQ6()),
+		pair(workload.WebFrontend(), workload.MediaStreaming()),
+		pair(workload.TPCC1(), workload.TPCC2()),
+		pair(workload.SPECweb99(), workload.TPCHQ2()),
+		pair(workload.SATSolver(), workload.TPCHQ17()),
+		pair(workload.DataServing(), workload.MemoryHog()),
+		pair(workload.WebSearch(), workload.MemoryHog()),
+		pair(workload.TPCHQ6(), workload.MemoryHog()),
+		NewMix("",
+			Spec{Profile: workload.DataServing(), Cores: 4},
+			Spec{Profile: workload.MapReduce(), Cores: 4},
+			Spec{Profile: workload.WebSearch(), Cores: 4},
+			Spec{Profile: workload.SATSolver(), Cores: 4},
+		),
+	}
+}

@@ -1,0 +1,145 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+
+	"cloudmc/internal/workload"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	sp := Spec{Profile: workload.DataServing()}
+	if sp.Label() != "DS" {
+		t.Fatalf("Label = %q, want DS", sp.Label())
+	}
+	if sp.CoreCount() != 16 {
+		t.Fatalf("CoreCount = %d, want the profile's 16", sp.CoreCount())
+	}
+	sp.Cores = 4
+	sp.Name = "victim"
+	if sp.Label() != "victim" || sp.CoreCount() != 4 {
+		t.Fatalf("overrides ignored: label %q cores %d", sp.Label(), sp.CoreCount())
+	}
+	if got := sp.Adjusted().Cores; got != 4 {
+		t.Fatalf("Adjusted cores = %d, want 4", got)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixNaming(t *testing.T) {
+	m := Pair(workload.DataServing(), workload.MemoryHog(), 8)
+	if m.Name != "DS:8+HOG:8" {
+		t.Fatalf("derived name = %q, want DS:8+HOG:8", m.Name)
+	}
+	// Core counts are part of the derived name: mixes differing only
+	// in allocation must get distinct names (study caches key on it).
+	if n4 := Pair(workload.DataServing(), workload.MemoryHog(), 4).Name; n4 == m.Name {
+		t.Fatalf("4-core and 8-core pairs share the name %q", n4)
+	}
+	if m.TotalCores() != 16 {
+		t.Fatalf("TotalCores = %d, want 16", m.TotalCores())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixValidateRejectsSingletons(t *testing.T) {
+	m := NewMix("solo", Spec{Profile: workload.DataServing()})
+	if m.Validate() == nil {
+		t.Fatal("single-tenant mix must be rejected")
+	}
+}
+
+// TestComputeFairnessGolden pins the fairness algebra to hand-computed
+// values: solo IPCs (2.0, 1.0), shared IPCs (1.0, 0.8) give slowdowns
+// (2.0, 1.25), weighted speedup 0.5+0.8=1.3, harmonic speedup
+// 2/(2.0+1.25)=0.6153..., max slowdown 2.0.
+func TestComputeFairnessGolden(t *testing.T) {
+	f := ComputeFairness([]float64{2.0, 1.0}, []float64{1.0, 0.8})
+	want := Fairness{
+		Slowdowns:       []float64{2.0, 1.25},
+		WeightedSpeedup: 1.3,
+		HarmonicSpeedup: 2 / 3.25,
+		MaxSlowdown:     2.0,
+	}
+	near := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	for i := range want.Slowdowns {
+		if !near(f.Slowdowns[i], want.Slowdowns[i]) {
+			t.Fatalf("slowdown[%d] = %v, want %v", i, f.Slowdowns[i], want.Slowdowns[i])
+		}
+	}
+	if !near(f.WeightedSpeedup, want.WeightedSpeedup) ||
+		!near(f.HarmonicSpeedup, want.HarmonicSpeedup) ||
+		!near(f.MaxSlowdown, want.MaxSlowdown) {
+		t.Fatalf("fairness = %+v, want %+v", f, want)
+	}
+}
+
+func TestComputeFairnessSkipsDeadTenants(t *testing.T) {
+	f := ComputeFairness([]float64{0, 2.0}, []float64{1.0, 1.0})
+	if f.Slowdowns[0] != 0 {
+		t.Fatalf("dead tenant slowdown = %v, want 0", f.Slowdowns[0])
+	}
+	if math.Abs(f.WeightedSpeedup-0.5) > 1e-12 || math.Abs(f.HarmonicSpeedup-0.5) > 1e-12 {
+		t.Fatalf("speedups over live tenants wrong: %+v", f)
+	}
+}
+
+// A victim with a positive baseline and zero shared throughput is a
+// fully starved tenant — the worst DoS outcome. It must dominate the
+// fairness summary, not vanish from it.
+func TestComputeFairnessStarvedVictim(t *testing.T) {
+	f := ComputeFairness([]float64{2.0, 1.0}, []float64{0, 0.9})
+	if !math.IsInf(f.Slowdowns[0], 1) || !math.IsInf(f.MaxSlowdown, 1) {
+		t.Fatalf("starved victim must be +Inf: %+v", f)
+	}
+	if f.HarmonicSpeedup != 0 {
+		t.Fatalf("harmonic speedup = %v, want 0 under starvation", f.HarmonicSpeedup)
+	}
+	if math.Abs(f.WeightedSpeedup-0.9) > 1e-12 {
+		t.Fatalf("weighted speedup = %v, want the survivor's 0.9", f.WeightedSpeedup)
+	}
+}
+
+// TestStudyMixes checks the canonical scenarios are usable: at least
+// eight, unique names, all valid, and every footprint inside the 32GB
+// machine.
+func TestStudyMixes(t *testing.T) {
+	mixes := StudyMixes()
+	if len(mixes) < 8 {
+		t.Fatalf("only %d canonical mixes, want >= 8", len(mixes))
+	}
+	seen := map[string]bool{}
+	const capacity = 32 << 30
+	for _, m := range mixes {
+		if seen[m.Name] {
+			t.Fatalf("duplicate mix name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.TotalCores() != 16 {
+			t.Fatalf("mix %s uses %d cores, want the full 16-core pod", m.Name, m.TotalCores())
+		}
+		if fp := m.Footprint(); fp > capacity {
+			t.Fatalf("mix %s footprint %d exceeds capacity", m.Name, fp)
+		}
+	}
+	// The adversary must feature: the whole point of the subsystem is
+	// interference studies.
+	hogs := 0
+	for _, m := range mixes {
+		for _, sp := range m.Tenants {
+			if sp.Profile.Acronym == "HOG" {
+				hogs++
+			}
+		}
+	}
+	if hogs < 2 {
+		t.Fatalf("only %d MemoryHog appearances in the canonical mixes", hogs)
+	}
+}

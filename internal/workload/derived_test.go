@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// compensated replicates Derived's calibration compensation and
+// clamping, returning the (row-hit, single-access) pair the mixture is
+// solved for.
+func compensated(p Profile) (h, a float64) {
+	hitCalib, accCalib := p.HitCalib, p.AccCalib
+	if hitCalib == 0 {
+		hitCalib = 1.5
+	}
+	if accCalib == 0 {
+		accCalib = -0.04
+	}
+	h = p.TargetRowHit * hitCalib
+	if h > 0.92 {
+		h = 0.92
+	}
+	a = p.TargetSingleAccess + accCalib
+	if a < 0.50 {
+		a = 0.50
+	}
+	if a > 0.92 {
+		a = 0.92
+	}
+	return h, a
+}
+
+// TestDerivedReproducesTargetPair is the analytic inversion property:
+// for every profile, the mixture Derived solves for must reproduce the
+// pre-calibration (row-hit, single-access) target pair exactly. With
+// bursts of expected length L, cold references produce single-access
+// activations and bursts produce one activation with L accesses, so
+//
+//	rowHit       = PBurstStart*(L-1) / (PCold + PBurstStart*L)
+//	singleAccess = PCold / (PCold + PBurstStart)
+//
+// must equal the compensated (h, a) Derived targeted.
+func TestDerivedReproducesTargetPair(t *testing.T) {
+	profiles := append(All(), MemoryHog())
+	for _, p := range profiles {
+		d := p.Derived()
+		if d.BurstLen <= 1 {
+			t.Fatalf("%s: burst length %v clamped; the inversion identity does not hold", p.Acronym, d.BurstLen)
+		}
+		h, a := compensated(p)
+		accesses := d.PCold + d.PBurstStart*d.BurstLen
+		gotH := d.PBurstStart * (d.BurstLen - 1) / accesses
+		gotA := d.PCold / (d.PCold + d.PBurstStart)
+		if math.Abs(gotH-h) > 1e-9 {
+			t.Errorf("%s: mixture row-hit %.9f != compensated target %.9f", p.Acronym, gotH, h)
+		}
+		if math.Abs(gotA-a) > 1e-9 {
+			t.Errorf("%s: mixture single-access %.9f != compensated target %.9f", p.Acronym, gotA, a)
+		}
+		// The miss budget must be conserved: cold + burst accesses ==
+		// TargetMPKI, and hot references fill to the reference rate.
+		if miss := p.TargetMPKI / 1000; math.Abs(accesses-miss) > 1e-12 {
+			t.Errorf("%s: mixture miss rate %.9f != target %.9f", p.Acronym, accesses, miss)
+		}
+		wantHot := p.MemRefsPerKiloInstr/1000 - p.TargetMPKI/1000
+		if wantHot < 0 {
+			wantHot = 0
+		}
+		if math.Abs(d.PHot-wantHot) > 1e-12 {
+			t.Errorf("%s: PHot %.9f != %.9f", p.Acronym, d.PHot, wantHot)
+		}
+	}
+}
+
+func TestByAcronymCaseInsensitive(t *testing.T) {
+	for _, acr := range []string{"ds", "DS", "tpch-q6", "hog", "wspec99"} {
+		p, err := ByAcronym(acr)
+		if err != nil {
+			t.Fatalf("ByAcronym(%q): %v", acr, err)
+		}
+		if !strings.EqualFold(p.Acronym, acr) {
+			t.Fatalf("ByAcronym(%q) = %s", acr, p.Acronym)
+		}
+	}
+}
+
+func TestByAcronymErrorListsValid(t *testing.T) {
+	_, err := ByAcronym("nope")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	for _, want := range []string{"DS", "TPCH-Q17", "HOG"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %s", err, want)
+		}
+	}
+}
+
+func TestMemoryHogProfile(t *testing.T) {
+	p := MemoryHog()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Category != ADVW {
+		t.Fatalf("category = %v, want ADV", p.Category)
+	}
+	// The adversary must not join the paper's Table 1 grids.
+	for _, q := range All() {
+		if q.Acronym == p.Acronym {
+			t.Fatal("MemoryHog leaked into All()")
+		}
+	}
+	if ADVW.String() != "ADV" {
+		t.Fatalf("ADVW.String() = %q", ADVW.String())
+	}
+}

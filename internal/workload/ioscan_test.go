@@ -30,6 +30,7 @@ func TestIOAgentScanEquivalence(t *testing.T) {
 	now := uint64(0)
 	for now < horizon {
 		idle, fired := scanned.Scan(horizon - now)
+		scanned.Skip(idle)
 		now += idle
 		if !fired || now >= horizon {
 			break
@@ -69,13 +70,13 @@ func TestIOAgentScanZeroOffset(t *testing.T) {
 	p := MediaStreaming()
 	layout := NewLayout(p)
 	a := NewIOAgent(p.IO, layout, 1, 3)
-	// Walk to the first burst via Scan.
+	// Walk to the first burst via Scan, consuming the idle window.
 	idle, fired := a.Scan(10_000_000)
 	if !fired {
 		t.Fatal("agent never fired within the scan window")
 	}
-	_ = idle
-	// Primed: the next Scan may not skip.
+	a.Skip(idle)
+	// Primed with its idle window consumed: the next Scan may not skip.
 	if idle, fired := a.Scan(1000); idle != 0 || !fired {
 		t.Fatalf("primed agent Scan = (%d, %v), want (0, true)", idle, fired)
 	}
@@ -86,6 +87,60 @@ func TestIOAgentScanZeroOffset(t *testing.T) {
 	if a.pending > 0 {
 		if idle, fired := a.Scan(1000); idle != 0 || !fired {
 			t.Fatalf("mid-burst Scan = (%d, %v), want (0, true)", idle, fired)
+		}
+	}
+}
+
+// TestIOAgentPartialSkip: a jump cut short of the scanned idle window
+// (as happens when another tenant's agent fires first) must leave the
+// remaining confirmed-silent cycles to be absorbed by Next without
+// disturbing the emission schedule. This drives the agent with a
+// hostile mixture of short Scans, partial Skips and per-cycle Nexts
+// and checks the schedule stays exact.
+func TestIOAgentPartialSkip(t *testing.T) {
+	p := MediaStreaming()
+	layout := NewLayout(p)
+	const horizon = 1_000_000
+
+	perCycle := NewIOAgent(p.IO, layout, 1, 11)
+	var want []ioEvent
+	for now := uint64(0); now < horizon; now++ {
+		if addr, ok, write := perCycle.Next(); ok {
+			want = append(want, ioEvent{now, addr, write})
+		}
+	}
+
+	driven := NewIOAgent(p.IO, layout, 1, 11)
+	var got []ioEvent
+	step := uint64(1)
+	now := uint64(0)
+	for now < horizon {
+		window := 1 + (now/3)%977 // varying scan windows
+		idle, _ := driven.Scan(window)
+		// Jump at most half the confirmed window (rounded up), leaving
+		// a remainder for Next to absorb.
+		jump := (idle + 1) / 2
+		driven.Skip(jump)
+		now += jump
+		// Then run a few plain cycles.
+		for i := uint64(0); i < step && now < horizon; i++ {
+			if addr, ok, write := driven.Next(); ok {
+				got = append(got, ioEvent{now, addr, write})
+			}
+			now++
+		}
+		step = step%7 + 1
+	}
+
+	if len(want) == 0 {
+		t.Fatal("per-cycle agent emitted nothing; test is vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emission counts differ: per-cycle %d, driven %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("emission %d differs: per-cycle %+v, driven %+v", i, want[i], got[i])
 		}
 	}
 }

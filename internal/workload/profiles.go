@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Calibration targets are read off the paper's figures: TargetMPKI
 // from Figure 4, TargetRowHit from Figure 2 (FR-FCFS, open-adaptive),
@@ -197,19 +200,49 @@ func TPCHQ17() Profile {
 	}
 }
 
-// All returns the twelve workloads in the paper's Table 1 order.
-func All() []Profile {
-	return []Profile{
+// MemoryHog is a synthetic adversary profile for colocation studies,
+// modeled on the bank/row-conflict attacker of Zhang et al. (Memory
+// DoS Attacks in Multi-tenant Clouds): every core floods the memory
+// system with cache-missing references scattered over a large region,
+// so almost every access activates a fresh row and conflicts with
+// whatever its neighbors keep open. Low BaseCPI and a deep MLP window
+// make the flood as dense as the in-order pipeline allows. It is not
+// part of the paper's Table 1 and is excluded from All().
+func MemoryHog() Profile {
+	return Profile{
+		Name: "Memory Hog", Acronym: "HOG", Category: ADVW, Cores: 16,
+		MemRefsPerKiloInstr: 500, StoreFraction: 0.50, BaseCPI: 1.0,
+		TargetMPKI: 60, TargetRowHit: 0.05, TargetSingleAccess: 0.90,
+		MLPLimit: 8, BurstGapInstr: 0, BurstStoreFraction: 0.5,
+		CoreIntensity: balanced,
+		HitCalib:      1.0, AccCalib: 0.01,
+		HotBytesPerCore: 4 * kib, StreamBytes: 64 * mib, ColdBytes: 2 * gib,
+	}
+}
+
+// table1 and lookup are built once; the per-call constructors above
+// stay the source of truth. Profiles are treated as immutable by every
+// caller (their slice fields are shared, as `balanced` already is).
+var (
+	table1 = []Profile{
 		DataServing(), MapReduce(), SATSolver(), WebFrontend(), WebSearch(), MediaStreaming(),
 		SPECweb99(), TPCC1(), TPCC2(),
 		TPCHQ2(), TPCHQ6(), TPCHQ17(),
 	}
+	// lookup extends Table 1 with the synthetic profiles resolvable by
+	// acronym but excluded from the paper's grids.
+	lookup = append(append([]Profile{}, table1...), MemoryHog())
+)
+
+// All returns the twelve workloads in the paper's Table 1 order.
+func All() []Profile {
+	return append([]Profile(nil), table1...)
 }
 
 // ByCategory returns the workloads of one category, in table order.
 func ByCategory(c Category) []Profile {
 	var out []Profile
-	for _, p := range All() {
+	for _, p := range table1 {
 		if p.Category == c {
 			out = append(out, p)
 		}
@@ -217,12 +250,18 @@ func ByCategory(c Category) []Profile {
 	return out
 }
 
-// ByAcronym finds a workload by its Table 1 acronym.
+// ByAcronym finds a workload by its acronym (Table 1 plus the
+// synthetic colocation profiles), matching case-insensitively.
 func ByAcronym(acr string) (Profile, error) {
-	for _, p := range All() {
-		if p.Acronym == acr {
+	for _, p := range lookup {
+		if strings.EqualFold(p.Acronym, acr) {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("workload: unknown acronym %q", acr)
+	valid := make([]string, len(lookup))
+	for i, p := range lookup {
+		valid[i] = p.Acronym
+	}
+	return Profile{}, fmt.Errorf("workload: unknown acronym %q (valid: %s)",
+		acr, strings.Join(valid, ", "))
 }

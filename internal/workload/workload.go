@@ -49,9 +49,13 @@ const (
 	TRSW
 	// DSPW is the decision-support category.
 	DSPW
+	// ADVW is the synthetic-adversary category (colocation studies);
+	// these profiles are not part of the paper's Table 1 and are
+	// excluded from All().
+	ADVW
 )
 
-var categoryNames = [...]string{SCOW: "SCO", TRSW: "TRS", DSPW: "DSP"}
+var categoryNames = [...]string{SCOW: "SCO", TRSW: "TRS", DSPW: "DSP", ADVW: "ADV"}
 
 func (c Category) String() string {
 	if int(c) < len(categoryNames) {
