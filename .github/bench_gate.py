@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares two raw `go test -bench` output files (merge-base vs PR head)
+and fails when the geometric mean of the per-benchmark median time
+ratios regresses by more than the threshold. Parsing the raw benchmark
+lines (a format the Go tool has kept stable for a decade) keeps the
+gate independent of benchstat's report layout; benchstat is still run
+separately for the human-readable table.
+
+Usage: bench_gate.py base.txt head.txt [threshold]
+  threshold: maximum allowed geomean head/base time ratio
+             (default 1.10 = 10% slower)
+"""
+
+import math
+import re
+import statistics
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op")
+
+
+def medians(path):
+    """Parse one bench file into {benchmark name: median ns/op}."""
+    samples = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if m:
+                samples.setdefault(m.group(1), []).append(float(m.group(2)))
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    base = medians(sys.argv[1])
+    head = medians(sys.argv[2])
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10
+
+    common = sorted(set(base) & set(head))
+    if not common:
+        print("no common benchmarks between base and head; skipping gate")
+        return
+    ratios = []
+    for name in common:
+        if base[name] <= 0 or head[name] <= 0:
+            continue
+        r = head[name] / base[name]
+        ratios.append(r)
+        print(f"{name}: {base[name]:.1f} -> {head[name]:.1f} ns/op ({r - 1:+.1%} vs base)")
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"\ngeomean head/base time ratio: {geomean:.4f} over {len(ratios)} benchmarks")
+    if geomean > threshold:
+        print(f"FAIL: geomean regression exceeds {threshold - 1:.0%} budget")
+        sys.exit(1)
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,17 +1,21 @@
 // Command mcmix sweeps multi-tenant colocation mixes across memory
-// schedulers and channel counts and prints the fairness study: per-
-// tenant slowdown versus running alone, weighted speedup, harmonic
-// speedup, and maximum slowdown. Solo baselines are memoized and
-// shared across mixes, so a full sweep costs far fewer simulations
-// than mixes x tenants.
+// schedulers, channel counts and isolation modes and prints the
+// fairness study: per-tenant slowdown versus running alone, weighted
+// speedup, harmonic speedup, and maximum slowdown. Solo baselines are
+// memoized and shared across mixes and isolation cells, so a full
+// sweep costs far fewer simulations than mixes x tenants x cells.
 //
 // Usage:
 //
 //	mcmix [-mixes all|NAME,...] [-scheds FR-FCFS,ATLAS] [-channels 1]
+//	      [-isolation none|banks|ways|banks+ways,...] [-slo 2.0]
 //	      [-cycles N] [-warm N] [-seed N] [-list] [-detail]
 //
 // Custom mixes can be given as core-count-annotated acronym lists,
-// e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8".
+// e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8". The isolation axis selects
+// the mitigation mechanisms: bank partitioning in the address map,
+// LLC way-partitioning, or both; the QoS scheduler (-scheds QoS)
+// targets the -slo max-slowdown budget.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cloudmc/internal/core"
 	"cloudmc/internal/experiment"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/tenant"
@@ -31,6 +36,8 @@ func main() {
 	mixesFlag := flag.String("mixes", "all", "comma-separated mix list (all = canonical study mixes; custom: DS:8+HOG:8,...)")
 	schedsFlag := flag.String("scheds", "FR-FCFS,ATLAS", "comma-separated schedulers to sweep")
 	channelsFlag := flag.String("channels", "1", "comma-separated channel counts to sweep")
+	isolationFlag := flag.String("isolation", "none", "comma-separated isolation modes to sweep (none, banks, ways, banks+ways, or all)")
+	slo := flag.Float64("slo", 0, "QoS scheduler max-slowdown SLO (0 = scheduler default)")
 	cycles := flag.Uint64("cycles", 300_000, "measured cycles per simulation")
 	warm := flag.Uint64("warm", 50_000, "timed warmup cycles")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -63,37 +70,44 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	isolations, err := parseIsolations(*isolationFlag)
+	if err != nil {
+		die(err)
+	}
 
 	cfg := experiment.Config{
-		MeasureCycles: *cycles,
-		WarmupCycles:  *warm,
-		Seed:          *seed,
+		MeasureCycles:  *cycles,
+		WarmupCycles:   *warm,
+		Seed:           *seed,
+		MaxSlowdownSLO: *slo,
 	}
-	ms := experiment.NewMixStudy(cfg, mixes, scheds, channels)
+	ms := experiment.NewMixStudy(cfg, mixes, scheds, channels, isolations)
 	results := ms.Results()
 
 	for _, ch := range channels {
 		fmt.Printf("=== %d channel(s), %d cycles measured ===\n\n", ch, *cycles)
 		for _, m := range mixes {
-			fmt.Printf("%s\n", m.Name)
-			for _, k := range scheds {
-				r, ok := find(results, m.Name, k, ch)
-				if !ok {
-					continue
-				}
-				fmt.Printf("  %-10s WS=%.3f HS=%.3f MaxSlow=%.3f  slowdowns:", k, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
-				for i, t := range r.Shared.Tenants {
-					fmt.Printf(" %s=%.3f", t.Name, r.Fairness.Slowdowns[i])
-				}
-				fmt.Println()
-				if *detail {
+			for _, iso := range isolations {
+				fmt.Printf("%s [%s]\n", m.Name, iso)
+				for _, k := range scheds {
+					r, ok := find(results, m.Name, k, ch, iso)
+					if !ok {
+						continue
+					}
+					fmt.Printf("  %-10s WS=%.3f HS=%.3f MaxSlow=%.3f  slowdowns:", k, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
 					for i, t := range r.Shared.Tenants {
-						fmt.Printf("    %-10s ipc=%.4f (solo %.4f) lat=%.1f hit=%.3f mpki=%.2f\n",
-							t.Name, t.IPC, r.SoloIPC[i], t.AvgReadLatency, t.RowHitRate, t.MPKI)
+						fmt.Printf(" %s=%.3f", t.Name, r.Fairness.Slowdowns[i])
+					}
+					fmt.Println()
+					if *detail {
+						for i, t := range r.Shared.Tenants {
+							fmt.Printf("    %-10s ipc=%.4f (solo %.4f) lat=%.1f hit=%.3f mpki=%.2f\n",
+								t.Name, t.IPC, r.SoloIPC[i], t.AvgReadLatency, t.RowHitRate, t.MPKI)
+						}
 					}
 				}
+				fmt.Println()
 			}
-			fmt.Println()
 		}
 	}
 	fmt.Print(ms.FairnessTable(results).Render())
@@ -101,9 +115,9 @@ func main() {
 		ms.Study().Simulations(), len(results))
 }
 
-func find(results []experiment.MixResult, mix string, k sched.Kind, ch int) (experiment.MixResult, bool) {
+func find(results []experiment.MixResult, mix string, k sched.Kind, ch int, iso core.Isolation) (experiment.MixResult, bool) {
 	for _, r := range results {
-		if r.Mix.Name == mix && r.Scheduler == k && r.Channels == ch {
+		if r.Mix.Name == mix && r.Scheduler == k && r.Channels == ch && r.Isolation == iso {
 			return r, true
 		}
 	}
@@ -111,14 +125,18 @@ func find(results []experiment.MixResult, mix string, k sched.Kind, ch int) (exp
 }
 
 // parseMixes resolves "all", canonical mix names, or custom specs of
-// the form "DS:8+HOG:8" (acronym:cores joined by '+').
+// the form "DS:8+HOG:8" (acronym:cores joined by '+'). Unknown tokens
+// are rejected with an error that lists the canonical mix names and
+// the custom syntax, so a typo never silently shrinks the sweep.
 func parseMixes(s string) ([]tenant.Mix, error) {
 	if s == "all" || s == "" {
 		return tenant.StudyMixes(), nil
 	}
 	canonical := map[string]tenant.Mix{}
+	var names []string
 	for _, m := range tenant.StudyMixes() {
 		canonical[m.Name] = m
+		names = append(names, m.Name)
 	}
 	var out []tenant.Mix
 	seen := map[string]bool{}
@@ -128,7 +146,8 @@ func parseMixes(s string) ([]tenant.Mix, error) {
 		if !ok {
 			var err error
 			if m, err = parseCustomMix(name); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mcmix: unknown mix %q: %w\n(canonical mixes: %s; custom syntax: ACR:cores+ACR:cores)",
+					name, err, strings.Join(names, ", "))
 			}
 		}
 		if seen[m.Name] {
@@ -163,6 +182,8 @@ func parseCustomMix(s string) (tenant.Mix, error) {
 	return tenant.NewMix("", specs...), nil
 }
 
+// parseScheds resolves scheduler names case-insensitively; unknown
+// names are rejected by sched.ParseKind with the list of valid ones.
 func parseScheds(s string) ([]sched.Kind, error) {
 	var out []sched.Kind
 	for _, name := range strings.Split(s, ",") {
@@ -175,12 +196,37 @@ func parseScheds(s string) ([]sched.Kind, error) {
 	return out, nil
 }
 
+// parseIsolations resolves the isolation axis ("all" sweeps every
+// mode); unknown names are rejected with the valid vocabulary.
+func parseIsolations(s string) ([]core.Isolation, error) {
+	if s == "all" {
+		return append([]core.Isolation(nil), core.Isolations...), nil
+	}
+	var out []core.Isolation
+	seen := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		iso, err := core.ParseIsolation(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if seen[iso.String()] {
+			return nil, fmt.Errorf("mcmix: isolation mode %q listed twice", iso)
+		}
+		seen[iso.String()] = true
+		out = append(out, iso)
+	}
+	return out, nil
+}
+
 func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, v := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(v))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mcmix: bad channel count %q (want a positive integer)", strings.TrimSpace(v))
+		}
+		if n <= 0 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("mcmix: channel count %d must be a positive power of two", n)
 		}
 		out = append(out, n)
 	}

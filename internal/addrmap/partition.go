@@ -1,0 +1,119 @@
+package addrmap
+
+import (
+	"fmt"
+
+	"cloudmc/internal/dram"
+)
+
+// TenantBanks assigns one tenant a contiguous, power-of-two slice of
+// the combined per-channel bank index space (rank*Banks + bank) plus
+// the base of its physical address range. Bank partitioning is the
+// address-mapping form of OS page coloring: the tenant's addresses are
+// rebased to its own slice and decoded through a reduced geometry that
+// only owns its banks, so two tenants can never collide on a bank —
+// the bank- and row-conflict channel of the memory-DoS literature is
+// closed by construction.
+type TenantBanks struct {
+	// Base is the tenant's physical base address; it is subtracted
+	// before decoding so the tenant's slice of the address space
+	// enumerates its own partition from offset zero.
+	Base uint64
+	// Start is the first combined bank index (rank*Banks + bank) of
+	// the tenant's slice.
+	Start int
+	// Count is the number of bank indices in the slice; it must be a
+	// power of two so the slice is a decodable bit field.
+	Count int
+}
+
+// partition is one tenant's compiled mapping state.
+type partition struct {
+	m     *Mapper // reduced-geometry mapper over the tenant's banks
+	start int     // first combined bank index
+	base  uint64
+}
+
+// PartitionedMapper decodes addresses tenant-aware: each tenant's
+// traffic is confined to its own bank slice, while unattributed
+// traffic (tenant < 0 or out of range) falls back to the shared base
+// mapping. The zero value is not usable; call NewPartitioned.
+type PartitionedMapper struct {
+	base  *Mapper
+	geo   dram.Geometry
+	parts []partition
+}
+
+// NewPartitioned builds a tenant-partitioned mapper. Slices must be
+// disjoint, power-of-two sized, and fit in the combined bank index
+// space; the scheme applies to each tenant's reduced geometry exactly
+// as it does to the full machine.
+func NewPartitioned(scheme Scheme, geo dram.Geometry, tenants []TenantBanks) (*PartitionedMapper, error) {
+	base, err := New(scheme, geo)
+	if err != nil {
+		return nil, err
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("addrmap: partitioned mapper needs at least one tenant")
+	}
+	total := geo.BanksPerChannel()
+	used := make([]bool, total)
+	pm := &PartitionedMapper{base: base, geo: geo}
+	for ti, tb := range tenants {
+		if tb.Count <= 0 || tb.Count&(tb.Count-1) != 0 {
+			return nil, fmt.Errorf("addrmap: tenant %d bank count %d must be a positive power of two", ti, tb.Count)
+		}
+		if tb.Start < 0 || tb.Start+tb.Count > total {
+			return nil, fmt.Errorf("addrmap: tenant %d bank slice [%d,%d) outside [0,%d)", ti, tb.Start, tb.Start+tb.Count, total)
+		}
+		for i := tb.Start; i < tb.Start+tb.Count; i++ {
+			if used[i] {
+				return nil, fmt.Errorf("addrmap: tenant %d bank slice overlaps an earlier tenant at index %d", ti, i)
+			}
+			used[i] = true
+		}
+		sub := geo
+		if tb.Count >= geo.Banks {
+			sub.Ranks = tb.Count / geo.Banks
+		} else {
+			sub.Ranks = 1
+			sub.Banks = tb.Count
+		}
+		m, err := New(scheme, sub)
+		if err != nil {
+			return nil, err
+		}
+		pm.parts = append(pm.parts, partition{m: m, start: tb.Start, base: tb.Base})
+	}
+	return pm, nil
+}
+
+// Base returns the shared (unpartitioned) mapper used for
+// unattributed traffic.
+func (pm *PartitionedMapper) Base() *Mapper { return pm.base }
+
+// TenantCapacity returns the number of bytes tenant t's partition can
+// hold (its bank count's share of the machine).
+func (pm *PartitionedMapper) TenantCapacity(t int) uint64 {
+	return pm.parts[t].m.Geometry().TotalBytes()
+}
+
+// DecodeFor splits a physical byte address into DRAM coordinates under
+// tenant t's partition. The tenant's address is rebased to its slice
+// and decoded through its reduced geometry; the decoded rank/bank pair
+// is then translated back into the machine's combined bank index
+// space. Addresses beyond the partition capacity wrap within the
+// partition (exactly as the base mapper wraps beyond the machine), so
+// a tenant can never escape its slice.
+func (pm *PartitionedMapper) DecodeFor(t int, addr uint64) dram.Location {
+	if t < 0 || t >= len(pm.parts) {
+		return pm.base.Decode(addr)
+	}
+	p := &pm.parts[t]
+	loc := p.m.Decode(addr - p.base)
+	sub := p.m.Geometry()
+	g := p.start + loc.Rank*sub.Banks + loc.Bank
+	loc.Rank = g / pm.geo.Banks
+	loc.Bank = g % pm.geo.Banks
+	return loc
+}

@@ -1,0 +1,160 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudmc/internal/dram"
+)
+
+// twoTenantPartition carves testGeo's 16 combined bank indices into
+// two 8-bank slices with 1GB-spaced base addresses.
+func twoTenantPartition(t *testing.T, scheme Scheme, channels int) (*PartitionedMapper, []TenantBanks) {
+	t.Helper()
+	tb := []TenantBanks{
+		{Base: 0, Start: 0, Count: 8},
+		{Base: 1 << 30, Start: 8, Count: 8},
+	}
+	pm, err := NewPartitioned(scheme, testGeo(channels), tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, tb
+}
+
+// TestPartitionedDisjointBanks is the isolation property test: under
+// every scheme and channel count, no address of one tenant may ever
+// decode to a (channel, rank, bank) another tenant can reach. The
+// address streams deliberately range far beyond each tenant's
+// partition capacity — even wrapped (aliased) addresses must stay
+// inside the owner's slice.
+func TestPartitionedDisjointBanks(t *testing.T) {
+	for _, scheme := range Schemes {
+		for _, ch := range []int{1, 2, 4} {
+			pm, tb := twoTenantPartition(t, scheme, ch)
+			geo := testGeo(ch)
+			seen := make([]map[[3]int]bool, len(tb))
+			for ti := range tb {
+				seen[ti] = map[[3]int]bool{}
+			}
+			for ti, part := range tb {
+				rng := uint64(0x9e3779b97f4a7c15) * uint64(ti+1)
+				for n := 0; n < 4000; n++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					addr := part.Base + rng%(4<<30)&^63
+					loc := pm.DecodeFor(ti, addr)
+					if loc.Channel < 0 || loc.Channel >= geo.Channels ||
+						loc.Rank < 0 || loc.Rank >= geo.Ranks ||
+						loc.Bank < 0 || loc.Bank >= geo.Banks ||
+						loc.Row < 0 || loc.Row >= geo.Rows ||
+						loc.Column < 0 || loc.Column >= geo.Columns {
+						t.Fatalf("%v ch=%d tenant %d: out-of-range location %+v", scheme, ch, ti, loc)
+					}
+					seen[ti][[3]int{loc.Channel, loc.Rank, loc.Bank}] = true
+				}
+			}
+			for key := range seen[0] {
+				if seen[1][key] {
+					t.Fatalf("%v ch=%d: tenants share bank ch%d/ra%d/ba%d", scheme, ch, key[0], key[1], key[2])
+				}
+			}
+			// Both tenants must still spread over every channel (bank
+			// partitioning must not silently serialize channels).
+			for ti := range tb {
+				chans := map[int]bool{}
+				for key := range seen[ti] {
+					chans[key[0]] = true
+				}
+				if len(chans) != geo.Channels {
+					t.Fatalf("%v ch=%d tenant %d only reaches channels %v", scheme, ch, ti, chans)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedBankSliceExact pins the slice arithmetic: tenant 0's
+// combined bank index (rank*Banks+bank) must stay in [0,8) and tenant
+// 1's in [8,16).
+func TestPartitionedBankSliceExact(t *testing.T) {
+	pm, tb := twoTenantPartition(t, RoRaBaCoCh, 1)
+	geo := testGeo(1)
+	for ti, part := range tb {
+		f := func(raw uint64) bool {
+			loc := pm.DecodeFor(ti, part.Base+raw)
+			g := loc.Rank*geo.Banks + loc.Bank
+			return g >= part.Start && g < part.Start+part.Count
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("tenant %d: %v", ti, err)
+		}
+	}
+}
+
+// TestPartitionedDistinctAddressesDistinctLocations: within a
+// tenant's partition capacity, the reduced-geometry decode must stay
+// a bijection — no two blocks of the tenant may share a DRAM location.
+func TestPartitionedDistinctAddressesDistinctLocations(t *testing.T) {
+	pm, tb := twoTenantPartition(t, RoRaBaCoCh, 2)
+	for ti, part := range tb {
+		locs := map[dram.Location]uint64{}
+		for n := uint64(0); n < 3000; n++ {
+			addr := part.Base + n*64
+			loc := pm.DecodeFor(ti, addr)
+			if prev, dup := locs[loc]; dup {
+				t.Fatalf("tenant %d: addresses %#x and %#x share location %v", ti, prev, addr, loc)
+			}
+			locs[loc] = addr
+		}
+	}
+}
+
+// TestPartitionedUnattributedFallsBack: tenant -1 (and out-of-range
+// tenants) must decode through the shared base mapper.
+func TestPartitionedUnattributedFallsBack(t *testing.T) {
+	pm, _ := twoTenantPartition(t, RoRaBaChCo, 2)
+	base := MustNew(RoRaBaChCo, testGeo(2))
+	for _, addr := range []uint64{0, 64, 4096, 1 << 20, 123456789 &^ 63} {
+		if got, want := pm.DecodeFor(-1, addr), base.Decode(addr); got != want {
+			t.Fatalf("fallback decode(%#x) = %v, want %v", addr, got, want)
+		}
+		if got, want := pm.DecodeFor(99, addr), base.Decode(addr); got != want {
+			t.Fatalf("out-of-range tenant decode(%#x) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+// TestPartitionedCapacity: a tenant's capacity is its bank share of
+// the machine.
+func TestPartitionedCapacity(t *testing.T) {
+	pm, _ := twoTenantPartition(t, RoRaBaCoCh, 1)
+	total := testGeo(1).TotalBytes()
+	if got := pm.TenantCapacity(0); got != total/2 {
+		t.Fatalf("half-machine tenant capacity = %d, want %d", got, total/2)
+	}
+}
+
+// TestPartitionedValidation rejects malformed carve-ups.
+func TestPartitionedValidation(t *testing.T) {
+	geo := testGeo(1)
+	cases := []struct {
+		name string
+		tb   []TenantBanks
+	}{
+		{"overlap", []TenantBanks{{Start: 0, Count: 8}, {Start: 4, Count: 8}}},
+		{"non-pow2", []TenantBanks{{Start: 0, Count: 6}, {Start: 8, Count: 8}}},
+		{"out of range", []TenantBanks{{Start: 12, Count: 8}}},
+		{"zero count", []TenantBanks{{Start: 0, Count: 0}}},
+		{"empty", nil},
+	}
+	for _, c := range cases {
+		if _, err := NewPartitioned(RoRaBaCoCh, geo, c.tb); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+	if _, err := NewPartitioned(RoRaBaCoCh, geo, []TenantBanks{{Start: 0, Count: 8}, {Start: 8, Count: 8}}); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+}

@@ -76,6 +76,13 @@ type Victim struct {
 	Valid bool
 }
 
+// WayShare restricts one owner to the contiguous ways
+// [First, First+Count) of every set.
+type WayShare struct {
+	First int
+	Count int
+}
+
 // Cache is one set-associative cache.
 type Cache struct {
 	cfg       Config
@@ -84,7 +91,12 @@ type Cache struct {
 	blockBits uint
 	ways      int
 	stamp     uint64
-	Stats     Stats
+	// parts, when non-nil, way-partitions the cache: InstallFor
+	// restricts victim selection to the owner's ways. Lookups still
+	// search the whole set (hits are allowed anywhere; ownership is
+	// enforced at fill time, as hardware way-partitioning does).
+	parts []WayShare
+	Stats Stats
 }
 
 // New builds a cache; it panics on an invalid configuration (cache
@@ -171,11 +183,49 @@ func (c *Cache) IsDirty(addr uint64) bool {
 	return false
 }
 
+// PartitionWays way-partitions the cache among owners: owner i may
+// only fill into ways [shares[i].First, First+Count). Shares must be
+// disjoint, non-empty, and within the associativity. Nil clears the
+// partition. Install (ownerless) and InstallFor with an out-of-range
+// owner keep choosing victims across the whole set.
+func (c *Cache) PartitionWays(shares []WayShare) error {
+	if shares == nil {
+		c.parts = nil
+		return nil
+	}
+	used := make([]bool, c.ways)
+	for i, sh := range shares {
+		if sh.Count <= 0 || sh.First < 0 || sh.First+sh.Count > c.ways {
+			return fmt.Errorf("cache: owner %d way share [%d,%d) outside [0,%d)", i, sh.First, sh.First+sh.Count, c.ways)
+		}
+		for w := sh.First; w < sh.First+sh.Count; w++ {
+			if used[w] {
+				return fmt.Errorf("cache: owner %d way share overlaps an earlier owner at way %d", i, w)
+			}
+			used[w] = true
+		}
+	}
+	c.parts = append([]WayShare(nil), shares...)
+	return nil
+}
+
+// WayShares returns the active way partition (nil when unpartitioned).
+func (c *Cache) WayShares() []WayShare { return c.parts }
+
 // Install inserts addr (block-aligned internally), evicting the LRU
 // line of its set if needed, and returns the displaced victim. If the
 // block is already present, Install refreshes LRU and ORs in dirty
 // without evicting.
 func (c *Cache) Install(addr uint64, dirty bool) Victim {
+	return c.InstallFor(-1, addr, dirty)
+}
+
+// InstallFor is Install with an owner: when the cache is
+// way-partitioned and owner names a share, the victim is chosen from
+// the owner's ways only, so one owner can never evict another's line.
+// Refreshes of already-present blocks are unrestricted (the line
+// already lives in its owner's ways).
+func (c *Cache) InstallFor(owner int, addr uint64, dirty bool) Victim {
 	set, tag := c.index(addr)
 	lines := c.set(set)
 	c.stamp++
@@ -189,8 +239,13 @@ func (c *Cache) Install(addr uint64, dirty bool) Victim {
 		}
 	}
 	c.Stats.Installs++
-	victim := 0
-	for i := range lines {
+	first, limit := 0, len(lines)
+	if c.parts != nil && owner >= 0 && owner < len(c.parts) {
+		first = c.parts[owner].First
+		limit = first + c.parts[owner].Count
+	}
+	victim := first
+	for i := first; i < limit; i++ {
 		if !lines[i].valid {
 			victim = i
 			break

@@ -1,0 +1,129 @@
+package cache
+
+import "testing"
+
+func partitionedCache(t *testing.T) *Cache {
+	t.Helper()
+	c := New(Config{SizeBytes: 64 << 10, Ways: 16, BlockBytes: 64})
+	if err := c.PartitionWays([]WayShare{{First: 0, Count: 10}, {First: 10, Count: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWayPartitionNeverEvictsForeignLine is the isolation invariant
+// test: with two owners hammering the same sets from disjoint address
+// ranges, no install by one owner may ever evict a line belonging to
+// the other. Ownership is tracked externally by address range.
+func TestWayPartitionNeverEvictsForeignLine(t *testing.T) {
+	c := partitionedCache(t)
+	const split = uint64(1) << 40 // owner 0 below, owner 1 above
+	ownerOf := func(addr uint64) int {
+		if addr < split {
+			return 0
+		}
+		return 1
+	}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	installed := [2]int{}
+	for n := 0; n < 50_000; n++ {
+		owner := int(next() & 1)
+		addr := (next() % (1 << 22)) &^ 63 // far beyond capacity: constant eviction
+		if owner == 1 {
+			addr += split
+		}
+		v := c.InstallFor(owner, addr, next()&1 == 0)
+		installed[owner]++
+		if v.Valid && ownerOf(v.Addr) != owner {
+			t.Fatalf("owner %d evicted owner %d's line %#x (install %d)", owner, ownerOf(v.Addr), v.Addr, n)
+		}
+	}
+	if installed[0] == 0 || installed[1] == 0 {
+		t.Fatal("degenerate install mix")
+	}
+}
+
+// TestWayPartitionOccupancyBound: an owner flooding the cache can fill
+// at most its own ways of every set.
+func TestWayPartitionOccupancyBound(t *testing.T) {
+	c := partitionedCache(t)
+	for n := uint64(0); n < 4096; n++ {
+		c.InstallFor(1, n*64, false)
+	}
+	sets := c.Config().Sets()
+	if occ, max := c.Occupancy(), sets*6; occ > max {
+		t.Fatalf("owner 1 occupies %d lines, its 6-way share allows %d", occ, max)
+	}
+}
+
+// TestWayPartitionHitsAnywhere: lookups are unrestricted — a line
+// stays visible to every accessor regardless of the partition.
+func TestWayPartitionHitsAnywhere(t *testing.T) {
+	c := partitionedCache(t)
+	c.InstallFor(0, 0x1000, false)
+	if !c.Access(0x1000, false) {
+		t.Fatal("line invisible after partitioned install")
+	}
+}
+
+// TestInstallForWithoutPartitionMatchesInstall: with no partition (and
+// for unattributed owners under one) victim selection must be the
+// plain whole-set LRU, bit-for-bit.
+func TestInstallForWithoutPartitionMatchesInstall(t *testing.T) {
+	a := New(Config{SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64})
+	b := New(Config{SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64})
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for n := 0; n < 20_000; n++ {
+		addr := (next() % (1 << 20)) &^ 63
+		dirty := next()&1 == 0
+		va := a.Install(addr, dirty)
+		vb := b.InstallFor(3, addr, dirty)
+		if va != vb {
+			t.Fatalf("install %d: Install victim %+v != InstallFor %+v", n, va, vb)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestPartitionWaysValidation rejects malformed shares and accepts a
+// clearing nil.
+func TestPartitionWaysValidation(t *testing.T) {
+	c := New(Config{SizeBytes: 64 << 10, Ways: 16, BlockBytes: 64})
+	bad := [][]WayShare{
+		{{First: 0, Count: 10}, {First: 8, Count: 8}}, // overlap
+		{{First: 0, Count: 17}},                       // beyond associativity
+		{{First: -1, Count: 4}},                       // negative start
+		{{First: 0, Count: 0}},                        // empty share
+	}
+	for i, shares := range bad {
+		if err := c.PartitionWays(shares); err == nil {
+			t.Fatalf("bad share set %d accepted", i)
+		}
+	}
+	if err := c.PartitionWays([]WayShare{{First: 0, Count: 8}, {First: 8, Count: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.WayShares() == nil {
+		t.Fatal("partition not recorded")
+	}
+	if err := c.PartitionWays(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.WayShares() != nil {
+		t.Fatal("nil did not clear the partition")
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"cloudmc/internal/addrmap"
 	"cloudmc/internal/cache"
@@ -17,6 +18,69 @@ import (
 	"cloudmc/internal/tenant"
 	"cloudmc/internal/workload"
 )
+
+// Isolation selects the inter-tenant isolation mechanisms of a
+// colocation run. The zero value (no isolation) shares every resource,
+// which is bit-identical to the pre-isolation simulator; each
+// mechanism closes one interference channel of the memory-DoS
+// literature.
+type Isolation struct {
+	// BankPartition carves each channel's combined rank x bank index
+	// space into disjoint per-tenant slices (proportional to core
+	// share, rounded to powers of two) and rebases every tenant's
+	// address decode into its own slice, so two tenants can never
+	// collide on a bank or a row buffer.
+	BankPartition bool
+	// WayPartition splits the shared LLC's ways among tenants
+	// (proportional to core share); lookups hit anywhere, but each
+	// tenant's fills may only evict lines in its own ways, so no
+	// tenant can flush another's working set.
+	WayPartition bool
+}
+
+// Enabled reports whether any isolation mechanism is on.
+func (i Isolation) Enabled() bool { return i.BankPartition || i.WayPartition }
+
+// String renders the mcmix axis vocabulary: none, banks, ways,
+// banks+ways.
+func (i Isolation) String() string {
+	switch {
+	case i.BankPartition && i.WayPartition:
+		return "banks+ways"
+	case i.BankPartition:
+		return "banks"
+	case i.WayPartition:
+		return "ways"
+	default:
+		return "none"
+	}
+}
+
+// ParseIsolation converts an isolation axis name (as printed by
+// String) back to an Isolation value, case-insensitively, listing the
+// valid names on error.
+func ParseIsolation(s string) (Isolation, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return Isolation{}, nil
+	case "banks":
+		return Isolation{BankPartition: true}, nil
+	case "ways":
+		return Isolation{WayPartition: true}, nil
+	case "banks+ways", "ways+banks":
+		return Isolation{BankPartition: true, WayPartition: true}, nil
+	}
+	return Isolation{}, fmt.Errorf("core: unknown isolation mode %q (valid: none, banks, ways, banks+ways)", s)
+}
+
+// Isolations lists the isolation axis values a study sweeps, weakest
+// first.
+var Isolations = []Isolation{
+	{},
+	{BankPartition: true},
+	{WayPartition: true},
+	{BankPartition: true, WayPartition: true},
+}
 
 // Config describes one simulated system + workload combination.
 type Config struct {
@@ -31,6 +95,12 @@ type Config struct {
 	// gain a per-tenant breakdown; ATLAS switches to per-tenant
 	// service accounting.
 	Tenants []tenant.Spec
+
+	// Isolation enables inter-tenant isolation mechanisms (bank
+	// partitioning in the address map, LLC way-partitioning) for
+	// colocation runs. The zero value shares everything and is
+	// bit-identical to the pre-isolation simulator.
+	Isolation Isolation
 
 	// Scheduler selects the memory scheduling algorithm.
 	Scheduler sched.Kind
@@ -195,6 +265,13 @@ func (c Config) Validate() error {
 	}
 	if c.MSHRCap <= 0 || c.StoreBufferCap <= 0 {
 		return fmt.Errorf("core: MSHRCap and StoreBufferCap must be positive")
+	}
+	if n := len(c.tenantSpecs()); c.Isolation.BankPartition && n > c.channelGeometry().BanksPerChannel() {
+		return fmt.Errorf("core: bank partitioning cannot carve %d banks among %d tenants",
+			c.channelGeometry().BanksPerChannel(), n)
+	}
+	if n := len(c.tenantSpecs()); c.Isolation.WayPartition && n > c.L2.Ways {
+		return fmt.Errorf("core: way partitioning cannot carve %d LLC ways among %d tenants", c.L2.Ways, n)
 	}
 	if c.MeasureCycles == 0 {
 		return fmt.Errorf("core: MeasureCycles must be positive")

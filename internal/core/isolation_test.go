@@ -1,0 +1,293 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+// isoMixConfig is mixConfig plus an isolation mode and the scaled QoS
+// parameters (quantum compressed like ATLAS's, SLO from the caller).
+func isoMixConfig(m tenant.Mix, k sched.Kind, iso Isolation, ff bool) Config {
+	cfg := mixConfig(m, k, ff)
+	cfg.Isolation = iso
+	cfg.SchedOpts.QoS = sched.QoSConfig{
+		MaxSlowdownSLO:      2.0,
+		QuantumCycles:       7_000,
+		Alpha:               0.875,
+		StarvationThreshold: 1_000,
+		ScanDepth:           4,
+		BaselineLatency:     70,
+	}
+	return cfg
+}
+
+// TestNoIsolationGoldenMetrics pins the bit-identity contract: with
+// every isolation knob off, the simulator must reproduce the exact
+// Metrics the pre-isolation code produced (values recorded from the
+// PR 2 tree at this configuration). A change here means the shared
+// code path moved, not just the isolated one.
+func TestNoIsolationGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations are slow")
+	}
+	solo, err := NewSystem(equivalenceConfig(workload.WebSearch(), sched.FRFCFS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := solo.Run()
+	if sm.Retired != 231481 || sm.DemandMisses != 275 || sm.ReadsServed != 276 ||
+		sm.WritesServed != 87 || sm.RowHits != 112 || sm.RowMisses != 5 ||
+		sm.RowConflicts != 245 || sm.Activates != 252 {
+		t.Fatalf("solo WS diverged from pre-isolation golden values: %+v", sm)
+	}
+	if sm.AvgReadLatency != 103.52536231884058 {
+		t.Fatalf("solo WS AvgReadLatency = %v, want the pre-isolation 103.52536231884058", sm.AvgReadLatency)
+	}
+
+	mix := tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8)
+	sys, err := NewSystem(mixConfig(mix, sched.ATLAS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := sys.Run()
+	if mm.Retired != 155233 || mm.DemandMisses != 2397 || mm.ReadsServed != 2397 ||
+		mm.WritesServed != 768 || mm.RowHits != 141 || mm.RowMisses != 1445 ||
+		mm.RowConflicts != 1578 || mm.Activates != 3185 {
+		t.Fatalf("mixed DS+HOG diverged from pre-isolation golden values: %+v", mm)
+	}
+	if ds, hog := mm.Tenants[0], mm.Tenants[1]; ds.Retired != 121252 || hog.Retired != 33981 ||
+		ds.AvgReadLatency != 246.20245398773005 || hog.AvgReadLatency != 1140.5770159343313 {
+		t.Fatalf("per-tenant breakdown diverged from pre-isolation golden values: %+v / %+v", ds, hog)
+	}
+}
+
+// TestBankPartitionSystemDisjoint probes the assembled system: with
+// bank partitioning on, addresses drawn across each tenant's entire
+// layout (and beyond, exercising wrap) must decode to disjoint
+// (channel, rank, bank) sets; with isolation off, the partitioned
+// mapper must not exist at all.
+func TestBankPartitionSystemDisjoint(t *testing.T) {
+	mix := tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8)
+	sys, err := NewSystem(isoMixConfig(mix, sched.FRFCFS, Isolation{BankPartition: true}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.pmapper == nil {
+		t.Fatal("bank partitioning did not build the partitioned mapper")
+	}
+	seen := make([]map[[3]int]bool, len(sys.tenants))
+	for ti := range sys.tenants {
+		seen[ti] = map[[3]int]bool{}
+		rt := &sys.tenants[ti]
+		span := rt.limit - rt.base
+		rng := uint64(0x6c62272e07bb0142) * uint64(ti+1)
+		for n := 0; n < 5000; n++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			addr := rt.base + (rng%(span*2))&^63
+			loc := sys.pmapper.DecodeFor(ti, addr)
+			seen[ti][[3]int{loc.Channel, loc.Rank, loc.Bank}] = true
+		}
+	}
+	for key := range seen[0] {
+		if seen[1][key] {
+			t.Fatalf("tenants share bank ch%d/ra%d/ba%d under bank partitioning", key[0], key[1], key[2])
+		}
+	}
+
+	plain, err := NewSystem(mixConfig(mix, sched.FRFCFS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.pmapper != nil {
+		t.Fatal("isolation off but partitioned mapper present")
+	}
+	if plain.l2.WayShares() != nil {
+		t.Fatal("isolation off but LLC way partition present")
+	}
+}
+
+// TestIsolationFastForwardEquivalence extends the equivalence suite to
+// isolated systems: the event-horizon engine must stay bit-identical
+// to the naive loop with banks+ways isolation on, under both FR-FCFS
+// and the clock-driven QoS scheduler.
+func TestIsolationFastForwardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	mixes := []tenant.Mix{
+		tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8),
+		// Two IO-carrying tenants: DMA decode goes through the
+		// partitioned mapper too.
+		tenant.Pair(workload.WebFrontend(), workload.MediaStreaming(), 8),
+	}
+	iso := Isolation{BankPartition: true, WayPartition: true}
+	for _, m := range mixes {
+		for _, k := range []sched.Kind{sched.FRFCFS, sched.QoS} {
+			m, k := m, k
+			t.Run(m.Name+"/"+k.String(), func(t *testing.T) {
+				t.Parallel()
+				run := func(ff bool) Metrics {
+					sys, err := NewSystem(isoMixConfig(m, k, iso, ff))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return sys.Run()
+				}
+				naive := run(false)
+				fast := run(true)
+				if !reflect.DeepEqual(naive, fast) {
+					t.Fatalf("isolated fast-forward diverged:\nnaive: %+v\nfast:  %+v", naive, fast)
+				}
+			})
+		}
+	}
+}
+
+// mitigationScale is large enough for stable fairness numbers yet
+// small enough for test runtimes; the acceptance thresholds below
+// were measured at this exact scale and are deterministic (fixed
+// seed).
+func mitigationConfig(cfg Config) Config {
+	cfg.WarmupCycles = 30_000
+	cfg.MeasureCycles = 150_000
+	quantum := uint64(15_000)
+	cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+		QuantumCycles: quantum, Alpha: 0.875, StarvationThreshold: quantum / 8, ScanDepth: 2,
+	}
+	cfg.SchedOpts.QoS = sched.QoSConfig{
+		MaxSlowdownSLO:      1.2,
+		QuantumCycles:       quantum,
+		Alpha:               0.875,
+		StarvationThreshold: quantum / 8,
+		ScanDepth:           4,
+		BaselineLatency:     70,
+	}
+	return cfg
+}
+
+// victimSlowdown runs the DS+HOG mix under (scheduler, isolation) and
+// returns the victim's slowdown against its solo baseline plus its
+// row-hit rate in the shared run.
+func victimSlowdown(t *testing.T, soloIPC float64, k sched.Kind, iso Isolation) (slowdown, rowHit float64) {
+	t.Helper()
+	mix := tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8)
+	cfg := mitigationConfig(DefaultMixConfig(mix))
+	cfg.Scheduler = k
+	cfg.Isolation = iso
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Run()
+	return soloIPC / m.Tenants[0].IPC, m.Tenants[0].RowHitRate
+}
+
+// dsSoloIPC is the victim's baseline: alone on its 8 cores.
+func dsSoloIPC(t *testing.T) float64 {
+	t.Helper()
+	sp := tenant.Spec{Profile: workload.DataServing(), Cores: 8}
+	cfg := mitigationConfig(DefaultConfig(sp.Adjusted()))
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run().UserIPC
+}
+
+// TestIsolationMitigatesHog is the mitigation acceptance criterion:
+// in the DS+HOG mix, banks+ways isolation must reduce the victim's
+// slowdown versus the shared baseline under the same scheduler, and
+// bank partitioning must restore the row locality the hog destroys.
+func TestIsolationMitigatesHog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations are slow")
+	}
+	solo := dsSoloIPC(t)
+	shared, sharedHit := victimSlowdown(t, solo, sched.FRFCFS, Isolation{})
+	isolated, isoHit := victimSlowdown(t, solo, sched.FRFCFS, Isolation{BankPartition: true, WayPartition: true})
+	if shared <= 1.0 {
+		t.Fatalf("no interference in the shared baseline (slowdown %.3f); nothing to mitigate", shared)
+	}
+	if isolated >= shared-0.05 {
+		t.Fatalf("banks+ways isolation did not mitigate: victim slowdown %.3f vs shared %.3f", isolated, shared)
+	}
+	if isoHit <= sharedHit {
+		t.Fatalf("bank partitioning did not restore row locality: hit %.3f vs shared %.3f", isoHit, sharedHit)
+	}
+}
+
+// TestQoSMeetsSLOWhereFRFCFSViolates is the SLO acceptance criterion:
+// with a 1.2x max-slowdown budget on the DS victim, FR-FCFS violates
+// it and the QoS scheduler meets it, with no hardware isolation at
+// all.
+func TestQoSMeetsSLOWhereFRFCFSViolates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations are slow")
+	}
+	const slo = 1.2
+	solo := dsSoloIPC(t)
+	frfcfs, _ := victimSlowdown(t, solo, sched.FRFCFS, Isolation{})
+	qos, _ := victimSlowdown(t, solo, sched.QoS, Isolation{})
+	if frfcfs <= slo {
+		t.Fatalf("FR-FCFS meets the %.1fx SLO (victim slowdown %.3f); the scenario no longer discriminates", slo, frfcfs)
+	}
+	if qos > slo {
+		t.Fatalf("QoS misses its %.1fx SLO: victim slowdown %.3f", slo, qos)
+	}
+}
+
+// TestIsolationValidation covers the construction-time guards.
+func TestIsolationValidation(t *testing.T) {
+	// A tenant whose footprint fits the machine but not its bank
+	// partition must be rejected with partitioning on and accepted
+	// with it off.
+	big := workload.TPCHQ17()
+	big.ColdBytes = 20 << 30 // > half of the 32GB machine
+	m := tenant.NewMix("",
+		tenant.Spec{Profile: big, Cores: 8},
+		tenant.Spec{Profile: workload.WebSearch(), Cores: 8},
+	)
+	if _, err := NewSystem(mixConfig(m, sched.FRFCFS, true)); err != nil {
+		t.Fatalf("unpartitioned 20GB tenant rejected: %v", err)
+	}
+	if _, err := NewSystem(isoMixConfig(m, sched.FRFCFS, Isolation{BankPartition: true}, true)); err == nil {
+		t.Fatal("tenant footprint exceeding its bank partition accepted")
+	}
+
+	// More tenants than LLC ways cannot be way-partitioned.
+	var specs []tenant.Spec
+	for i := 0; i < 17; i++ {
+		specs = append(specs, tenant.Spec{Profile: workload.WebSearch(), Cores: 1})
+	}
+	wide := tenant.NewMix("wide17", specs...)
+	cfg := isoMixConfig(wide, sched.FRFCFS, Isolation{WayPartition: true}, true)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("17 tenants across 16 LLC ways accepted")
+	}
+}
+
+// TestIsolationParseRoundTrip: the axis vocabulary round-trips and
+// rejects junk.
+func TestIsolationParseRoundTrip(t *testing.T) {
+	for _, iso := range Isolations {
+		got, err := ParseIsolation(iso.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != iso {
+			t.Fatalf("round trip %v -> %v", iso, got)
+		}
+	}
+	if got, err := ParseIsolation("BANKS+Ways"); err != nil || !got.BankPartition || !got.WayPartition {
+		t.Fatalf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := ParseIsolation("bogus"); err == nil {
+		t.Fatal("bogus isolation mode accepted")
+	}
+}

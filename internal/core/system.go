@@ -17,6 +17,7 @@ import (
 // mshrEntry tracks one outstanding LLC miss and its merged waiters.
 type mshrEntry struct {
 	addr   uint64
+	tenant int   // owning tenant (fills respect LLC way partitions)
 	loads  []int // cores blocked on a load of this block
 	stores []int // cores with a buffered store to this block
 }
@@ -96,6 +97,10 @@ type System struct {
 	l1      []*cache.Cache
 	l2      *cache.Cache
 	mapper  *addrmap.Mapper
+	// pmapper replaces mapper for address decode when bank
+	// partitioning is on (Config.Isolation.BankPartition); nil
+	// otherwise, keeping the shared decode path untouched.
+	pmapper *addrmap.PartitionedMapper
 	ctrls   []*memctrl.Controller
 	// ios lists the tenants' DMA agents in tenant order (tenants
 	// without IO traffic are skipped); ioTenant holds the owning
@@ -176,19 +181,35 @@ func NewSystem(cfg Config) (*System, error) {
 		s.ctrls = append(s.ctrls, ctl)
 	}
 
+	// First pass: place every tenant in the physical address space.
+	// The partitioned mapper needs the bases before any generator is
+	// built.
 	var base uint64
-	for ti, sp := range specs {
+	firstCore := 0
+	for _, sp := range specs {
 		p := sp.Adjusted()
 		layout := workload.NewLayout(p).Shift(base)
 		if layout.Limit > geo.TotalBytes() {
 			return nil, fmt.Errorf("core: workload footprint %d exceeds memory capacity %d", layout.Limit, geo.TotalBytes())
 		}
-		rt := tenantRT{
+		s.tenants = append(s.tenants, tenantRT{
 			spec: sp, profile: p, layout: layout,
-			firstCore: len(s.cores), base: base, limit: layout.Limit,
-		}
+			firstCore: firstCore, base: base, limit: layout.Limit,
+		})
+		firstCore += p.Cores
+		base = (layout.Limit + tenantAlign - 1) &^ (tenantAlign - 1)
+	}
+	if err := s.applyIsolation(); err != nil {
+		return nil, err
+	}
+
+	// Second pass: build the tenants' cores, caches, generators and
+	// DMA agents.
+	for ti := range s.tenants {
+		rt := &s.tenants[ti]
+		p := rt.profile
 		for local := 0; local < p.Cores; local++ {
-			gen := workload.NewGenerator(p, layout, local, cfg.Seed^tenantSalt(ti))
+			gen := workload.NewGenerator(p, rt.layout, local, cfg.Seed^tenantSalt(ti))
 			s.gens = append(s.gens, gen)
 			s.cores = append(s.cores, cpu.New(len(s.cores), cpu.Config{
 				MLPLimit:       p.MLPLimit,
@@ -198,14 +219,78 @@ func NewSystem(cfg Config) (*System, error) {
 			s.l1 = append(s.l1, cache.New(cfg.L1))
 			s.coreTenant = append(s.coreTenant, ti)
 		}
-		if io := workload.NewIOAgent(p.IO, layout, geo.Channels, cfg.Seed^tenantSalt(ti)); io != nil {
+		if io := workload.NewIOAgent(p.IO, rt.layout, geo.Channels, cfg.Seed^tenantSalt(ti)); io != nil {
 			s.ios = append(s.ios, io)
 			s.ioTenant = append(s.ioTenant, ti)
 		}
-		s.tenants = append(s.tenants, rt)
-		base = (layout.Limit + tenantAlign - 1) &^ (tenantAlign - 1)
 	}
 	return s, nil
+}
+
+// applyIsolation compiles Config.Isolation into the partitioned
+// address mapper and the LLC way partition. Shares of both resources
+// are carved proportionally to core counts (the unit clouds sell). No
+// isolation means no state change at all: the shared decode and
+// install paths stay bit-identical to the pre-isolation simulator.
+func (s *System) applyIsolation() error {
+	iso := s.cfg.Isolation
+	if !iso.Enabled() {
+		return nil
+	}
+	weights := make([]int, len(s.tenants))
+	for i := range s.tenants {
+		weights[i] = s.tenants[i].profile.Cores
+	}
+	if iso.BankPartition {
+		geo := s.cfg.channelGeometry()
+		shares, err := tenant.CarvePow2(geo.BanksPerChannel(), weights)
+		if err != nil {
+			return fmt.Errorf("core: bank partition: %w", err)
+		}
+		tb := make([]addrmap.TenantBanks, len(s.tenants))
+		for i := range s.tenants {
+			tb[i] = addrmap.TenantBanks{
+				Base:  s.tenants[i].base,
+				Start: shares[i].Start,
+				Count: shares[i].Count,
+			}
+		}
+		pm, err := addrmap.NewPartitioned(s.cfg.Mapping, geo, tb)
+		if err != nil {
+			return err
+		}
+		for i := range s.tenants {
+			rt := &s.tenants[i]
+			if size := rt.limit - rt.base; size > pm.TenantCapacity(i) {
+				return fmt.Errorf("core: tenant %d footprint %d exceeds its bank partition capacity %d (%d of %d banks)",
+					i, size, pm.TenantCapacity(i), shares[i].Count, geo.BanksPerChannel())
+			}
+		}
+		s.pmapper = pm
+	}
+	if iso.WayPartition {
+		shares, err := tenant.CarveProportional(s.cfg.L2.Ways, weights)
+		if err != nil {
+			return fmt.Errorf("core: way partition: %w", err)
+		}
+		ws := make([]cache.WayShare, len(shares))
+		for i, sh := range shares {
+			ws[i] = cache.WayShare{First: sh.Start, Count: sh.Count}
+		}
+		if err := s.l2.PartitionWays(ws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decode maps a block address to DRAM coordinates, tenant-aware when
+// bank partitioning is on.
+func (s *System) decode(ten int, addr uint64) dram.Location {
+	if s.pmapper != nil {
+		return s.pmapper.DecodeFor(ten, addr)
+	}
+	return s.mapper.Decode(addr)
 }
 
 // pagePolicyFor returns the configured page policy; the RL scheduler
@@ -277,18 +362,18 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	if s.mshr.len() >= s.cfg.MSHRCap {
 		return cpu.AccessResult{Rejected: true}
 	}
-	loc := s.mapper.Decode(addr)
+	ten := s.coreTenant[core]
+	loc := s.decode(ten, addr)
 	kind := memctrl.ReadDemand
 	if store {
 		kind = memctrl.ReadStore
 	}
-	e := &mshrEntry{addr: addr}
+	e := &mshrEntry{addr: addr, tenant: ten}
 	if store {
 		e.stores = append(e.stores, core)
 	} else {
 		e.loads = append(e.loads, core)
 	}
-	ten := s.coreTenant[core]
 	// The fixed on-chip path latency is charged by queueing the fill
 	// for MemPathLatency cycles after the data leaves the controller.
 	ok := s.ctrls[loc.Channel].EnqueueRead(now, memctrl.Source{Core: core, Tenant: ten}, addr, loc, kind, func(at uint64) {
@@ -328,7 +413,7 @@ func (s *System) deliverFills(now uint64) {
 // victim's writeback, and wakes the merged waiters.
 func (s *System) fill(now uint64, e *mshrEntry) {
 	s.mshr.remove(e.addr)
-	victim := s.l2.Install(e.addr, false)
+	victim := s.l2.InstallFor(e.tenant, e.addr, false)
 	if victim.Valid && victim.Dirty {
 		s.wbq = append(s.wbq, pendingWrite{addr: victim.Addr, core: -1, tenant: s.tenantOfAddr(victim.Addr)})
 	}
@@ -354,7 +439,7 @@ func (s *System) installL1(now uint64, core int, addr uint64, dirty bool) {
 	}
 	// Non-inclusive corner: the L2 no longer holds the line; allocate
 	// it dirty (the victim carries the whole block).
-	l2v := s.l2.Install(victim.Addr, true)
+	l2v := s.l2.InstallFor(s.coreTenant[core], victim.Addr, true)
 	if l2v.Valid && l2v.Dirty {
 		s.wbq = append(s.wbq, pendingWrite{addr: l2v.Addr, core: core, tenant: s.tenantOfAddr(l2v.Addr)})
 	}
@@ -365,7 +450,7 @@ func (s *System) installL1(now uint64, core int, addr uint64, dirty bool) {
 func (s *System) drainWritebacks(now uint64) {
 	for len(s.wbq) > 0 {
 		wb := s.wbq[0]
-		loc := s.mapper.Decode(wb.addr)
+		loc := s.decode(wb.tenant, wb.addr)
 		if !s.ctrls[loc.Channel].EnqueueWrite(now, memctrl.Source{Core: wb.core, Tenant: wb.tenant}, wb.addr, loc, nil) {
 			return
 		}
@@ -383,7 +468,7 @@ func (s *System) tickIO(now uint64) {
 	}
 	for len(s.ioq) > 0 {
 		req := s.ioq[0]
-		loc := s.mapper.Decode(req.addr)
+		loc := s.decode(req.tenant, req.addr)
 		ctl := s.ctrls[loc.Channel]
 		src := memctrl.Source{Core: -1, Tenant: req.tenant}
 		var ok bool
@@ -463,12 +548,12 @@ func (s *System) primeCaches() {
 				}
 				start := layout.StreamBase + (rng.next()%layout.StreamSize)&^(block-1)
 				for j := 0; j < run && i < installs; j++ {
-					s.l2.Install(start+uint64(j)*block, rng.float() < burstDirty)
+					s.l2.InstallFor(ti, start+uint64(j)*block, rng.float() < burstDirty)
 					i++
 				}
 			} else {
 				addr := layout.ColdBase + (rng.next()%layout.ColdSize)&^(block-1)
-				s.l2.Install(addr, rng.float() < p.StoreFraction)
+				s.l2.InstallFor(ti, addr, rng.float() < p.StoreFraction)
 				i++
 			}
 		}
@@ -480,7 +565,7 @@ func (s *System) primeCaches() {
 		for core := 0; core < rt.profile.Cores; core++ {
 			base := rt.layout.HotBase + uint64(core)*rt.layout.HotStride
 			for off := uint64(0); off < rt.layout.HotStride; off += block {
-				s.l2.Install(base+off, false)
+				s.l2.InstallFor(ti, base+off, false)
 			}
 		}
 	}
@@ -505,6 +590,7 @@ func (s *System) FunctionalWarmup(instrPerCore uint64) {
 	}
 	for coreID, gen := range s.gens {
 		l1 := s.l1[coreID]
+		ten := s.coreTenant[coreID]
 		for n := uint64(0); n < instrPerCore; n++ {
 			op := gen.Next()
 			if op.Kind == workload.OpNonMem {
@@ -516,11 +602,11 @@ func (s *System) FunctionalWarmup(instrPerCore uint64) {
 				continue
 			}
 			if !s.l2.Access(addr, false) {
-				s.l2.Install(addr, false) // victim writeback dropped
+				s.l2.InstallFor(ten, addr, false) // victim writeback dropped
 			}
 			v := l1.Install(addr, write)
 			if v.Valid && v.Dirty && !s.l2.Access(v.Addr, true) {
-				s.l2.Install(v.Addr, true)
+				s.l2.InstallFor(ten, v.Addr, true)
 			}
 		}
 	}

@@ -10,12 +10,18 @@ import (
 
 // RunMix executes (or returns the cached metrics of) one colocation
 // run. Mix cells live in the same memoized, single-flighted cache as
-// the solo figure grid; the key is the mix name.
+// the solo figure grid; the key is the mix name plus the isolation
+// axis.
 func (s *Study) RunMix(m tenant.Mix, k runKey) core.Metrics {
 	k.workload = "mix:" + m.Name
 	return s.do(k, func() core.Metrics {
 		cfg := core.DefaultMixConfig(m)
 		s.applyStudyConfig(&cfg, k)
+		iso, err := core.ParseIsolation(k.isolation)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: mix %s: %v", m.Name, err))
+		}
+		cfg.Isolation = iso
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiment: mix %s: %v", m.Name, err))
@@ -28,11 +34,14 @@ func (s *Study) RunMix(m tenant.Mix, k runKey) core.Metrics {
 // fairness baseline: the tenant's profile alone on the machine with
 // the same core allocation it holds inside a mix. The cache key
 // includes the core count, so every mix containing the same tenant
-// spec shares one baseline simulation.
+// spec shares one baseline simulation; the isolation axis is dropped
+// from the key (a tenant alone owns the whole machine, partitioned or
+// not), so every isolation cell shares the baseline too.
 func (s *Study) RunSolo(sp tenant.Spec, k runKey) core.Metrics {
 	p := sp.Adjusted()
 	k.workload = p.Acronym
 	k.cores = p.Cores
+	k.isolation = ""
 	return s.do(k, func() core.Metrics {
 		sys, err := core.NewSystem(s.systemConfig(p, k))
 		if err != nil {
@@ -48,6 +57,7 @@ type MixResult struct {
 	Mix       tenant.Mix
 	Scheduler sched.Kind
 	Channels  int
+	Isolation core.Isolation
 	// Shared is the mix run; Shared.Tenants carries the per-tenant
 	// breakdown.
 	Shared core.Metrics
@@ -59,21 +69,22 @@ type MixResult struct {
 	Fairness tenant.Fairness
 }
 
-// MixStudy sweeps colocation mixes across schedulers and channel
-// counts, sharing one Study cache so solo baselines are simulated once
-// per (tenant, scheduler, channels) no matter how many mixes they
-// appear in.
+// MixStudy sweeps colocation mixes across schedulers, channel counts
+// and isolation modes, sharing one Study cache so solo baselines are
+// simulated once per (tenant, scheduler, channels) no matter how many
+// mixes or isolation cells they appear in.
 type MixStudy struct {
-	study    *Study
-	mixes    []tenant.Mix
-	scheds   []sched.Kind
-	channels []int
+	study      *Study
+	mixes      []tenant.Mix
+	scheds     []sched.Kind
+	channels   []int
+	isolations []core.Isolation
 }
 
 // NewMixStudy builds a mix study. Nil mixes defaults to
-// tenant.StudyMixes(), nil schedulers to FR-FCFS and ATLAS, and nil
-// channels to {1}.
-func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels []int) *MixStudy {
+// tenant.StudyMixes(), nil schedulers to FR-FCFS and ATLAS, nil
+// channels to {1}, and nil isolations to {none}.
+func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels []int, isolations []core.Isolation) *MixStudy {
 	if mixes == nil {
 		mixes = tenant.StudyMixes()
 	}
@@ -83,6 +94,9 @@ func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels [
 	if channels == nil {
 		channels = []int{1}
 	}
+	if isolations == nil {
+		isolations = []core.Isolation{{}}
+	}
 	seen := make(map[string]bool, len(mixes))
 	for _, m := range mixes {
 		if seen[m.Name] {
@@ -91,10 +105,11 @@ func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels [
 		seen[m.Name] = true
 	}
 	return &MixStudy{
-		study:    NewStudy(cfg),
-		mixes:    mixes,
-		scheds:   scheds,
-		channels: channels,
+		study:      NewStudy(cfg),
+		mixes:      mixes,
+		scheds:     scheds,
+		channels:   channels,
+		isolations: isolations,
 	}
 }
 
@@ -102,17 +117,19 @@ func NewMixStudy(cfg Config, mixes []tenant.Mix, scheds []sched.Kind, channels [
 // simulation count).
 func (ms *MixStudy) Study() *Study { return ms.study }
 
-// cellKey is the baseline run key for one (scheduler, channels) axis
-// point.
-func cellKey(k sched.Kind, channels int) runKey {
+// cellKey is the run key for one (scheduler, channels, isolation)
+// axis point.
+func cellKey(k sched.Kind, channels int, iso core.Isolation) runKey {
 	key := baselineKey("")
 	key.scheduler = k
 	key.channels = channels
+	key.isolation = iso.String()
 	return key
 }
 
 // Results evaluates the whole sweep in parallel and returns one
-// MixResult per (mix, scheduler, channels) cell, in mix-major order.
+// MixResult per (mix, scheduler, channels, isolation) cell, in
+// mix-major order.
 func (ms *MixStudy) Results() []MixResult {
 	// Materialize every cell (mix runs and solo baselines) in one
 	// parallel wave; the cache deduplicates shared baselines.
@@ -120,11 +137,13 @@ func (ms *MixStudy) Results() []MixResult {
 	for _, m := range ms.mixes {
 		for _, k := range ms.scheds {
 			for _, ch := range ms.channels {
-				m, k, ch := m, k, ch
-				cells = append(cells, func() { ms.study.RunMix(m, cellKey(k, ch)) })
-				for _, sp := range m.Tenants {
-					sp := sp
-					cells = append(cells, func() { ms.study.RunSolo(sp, cellKey(k, ch)) })
+				for _, iso := range ms.isolations {
+					m, k, ch, iso := m, k, ch, iso
+					cells = append(cells, func() { ms.study.RunMix(m, cellKey(k, ch, iso)) })
+					for _, sp := range m.Tenants {
+						sp := sp
+						cells = append(cells, func() { ms.study.RunSolo(sp, cellKey(k, ch, iso)) })
+					}
 				}
 			}
 		}
@@ -135,16 +154,18 @@ func (ms *MixStudy) Results() []MixResult {
 	for _, m := range ms.mixes {
 		for _, k := range ms.scheds {
 			for _, ch := range ms.channels {
-				key := cellKey(k, ch)
-				shared := ms.study.RunMix(m, key)
-				res := MixResult{Mix: m, Scheduler: k, Channels: ch, Shared: shared}
-				sharedIPC := make([]float64, len(m.Tenants))
-				for i := range m.Tenants {
-					sharedIPC[i] = shared.Tenants[i].IPC
-					res.SoloIPC = append(res.SoloIPC, ms.study.RunSolo(m.Tenants[i], key).UserIPC)
+				for _, iso := range ms.isolations {
+					key := cellKey(k, ch, iso)
+					shared := ms.study.RunMix(m, key)
+					res := MixResult{Mix: m, Scheduler: k, Channels: ch, Isolation: iso, Shared: shared}
+					sharedIPC := make([]float64, len(m.Tenants))
+					for i := range m.Tenants {
+						sharedIPC[i] = shared.Tenants[i].IPC
+						res.SoloIPC = append(res.SoloIPC, ms.study.RunSolo(m.Tenants[i], key).UserIPC)
+					}
+					res.Fairness = tenant.ComputeFairness(res.SoloIPC, sharedIPC)
+					out = append(out, res)
 				}
-				res.Fairness = tenant.ComputeFairness(res.SoloIPC, sharedIPC)
-				out = append(out, res)
 			}
 		}
 	}
@@ -152,9 +173,9 @@ func (ms *MixStudy) Results() []MixResult {
 }
 
 // FairnessTable renders the sweep as one Table per the paper's format:
-// rows are mixes, columns are (scheduler, metric) pairs with weighted
-// speedup, harmonic speedup and max slowdown, at the first configured
-// channel count.
+// rows are (mix, isolation) pairs, columns are (scheduler, metric)
+// pairs with weighted speedup, harmonic speedup and max slowdown, at
+// the first configured channel count.
 func (ms *MixStudy) FairnessTable(results []MixResult) *Table {
 	ch := ms.channels[0]
 	t := &Table{
@@ -166,17 +187,23 @@ func (ms *MixStudy) FairnessTable(results []MixResult) *Table {
 		t.Cols = append(t.Cols, k.String()+" WS", k.String()+" HS", k.String()+" MaxSlow")
 	}
 	for _, m := range ms.mixes {
-		t.Rows = append(t.Rows, m.Name)
-		row := make([]float64, 0, len(t.Cols))
-		for _, k := range ms.scheds {
-			for _, r := range results {
-				if r.Mix.Name == m.Name && r.Scheduler == k && r.Channels == ch {
-					row = append(row, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
-					break
+		for _, iso := range ms.isolations {
+			label := m.Name
+			if len(ms.isolations) > 1 {
+				label = fmt.Sprintf("%s [%s]", m.Name, iso)
+			}
+			t.Rows = append(t.Rows, label)
+			row := make([]float64, 0, len(t.Cols))
+			for _, k := range ms.scheds {
+				for _, r := range results {
+					if r.Mix.Name == m.Name && r.Scheduler == k && r.Channels == ch && r.Isolation == iso {
+						row = append(row, r.Fairness.WeightedSpeedup, r.Fairness.HarmonicSpeedup, r.Fairness.MaxSlowdown)
+						break
+					}
 				}
 			}
+			t.Values = append(t.Values, row)
 		}
-		t.Values = append(t.Values, row)
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"testing"
 
+	"cloudmc/internal/core"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/tenant"
 	"cloudmc/internal/workload"
@@ -27,7 +28,7 @@ func TestMixStudySharesSoloBaselines(t *testing.T) {
 		tenant.Pair(ds, workload.MemoryHog(), 8),
 		tenant.Pair(ds, workload.WebSearch(), 8),
 	}
-	ms := NewMixStudy(tinyMixConfig(), mixes, []sched.Kind{sched.FRFCFS}, []int{1})
+	ms := NewMixStudy(tinyMixConfig(), mixes, []sched.Kind{sched.FRFCFS}, []int{1}, nil)
 	results := ms.Results()
 	if len(results) != 2 {
 		t.Fatalf("results = %d, want 2", len(results))
@@ -55,11 +56,54 @@ func TestMixStudySharesSoloBaselines(t *testing.T) {
 	}
 }
 
+// TestMixStudyIsolationAxis: sweeping isolation modes re-simulates
+// the mix per mode but shares the solo baselines across every
+// isolation cell (a tenant alone owns the whole machine either way).
+// Cells: 1 mix x 3 isolations + 2 baselines = 5 simulations.
+func TestMixStudyIsolationAxis(t *testing.T) {
+	mixes := []tenant.Mix{tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8)}
+	isolations := []core.Isolation{
+		{},
+		{BankPartition: true},
+		{BankPartition: true, WayPartition: true},
+	}
+	ms := NewMixStudy(tinyMixConfig(), mixes, []sched.Kind{sched.FRFCFS}, []int{1}, isolations)
+	results := ms.Results()
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3 isolation cells", len(results))
+	}
+	if got := ms.Study().Simulations(); got != 5 {
+		t.Fatalf("simulations = %d, want 5 (3 isolation cells + 2 shared baselines)", got)
+	}
+	byIso := map[string]MixResult{}
+	for _, r := range results {
+		byIso[r.Isolation.String()] = r
+	}
+	for _, name := range []string{"none", "banks", "banks+ways"} {
+		r, ok := byIso[name]
+		if !ok {
+			t.Fatalf("missing isolation cell %q", name)
+		}
+		if r.Fairness.MaxSlowdown < 1.0 {
+			t.Fatalf("cell %q max slowdown %v < 1", name, r.Fairness.MaxSlowdown)
+		}
+	}
+	// The isolated cells must actually differ from the shared one —
+	// the axis has to reach the simulator, not just the cache key.
+	if byIso["none"].Shared.Tenants[0].RowHitRate == byIso["banks"].Shared.Tenants[0].RowHitRate {
+		t.Fatal("banks cell identical to shared cell; isolation not applied")
+	}
+	tab := ms.FairnessTable(results)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fairness table rows = %v, want one per isolation cell", tab.Rows)
+	}
+}
+
 // TestFairnessTableShape: rows per mix, three columns per scheduler.
 func TestFairnessTableShape(t *testing.T) {
 	mixes := []tenant.Mix{tenant.Pair(workload.WebSearch(), workload.TPCHQ6(), 8)}
 	scheds := []sched.Kind{sched.FRFCFS, sched.ATLAS}
-	ms := NewMixStudy(tinyMixConfig(), mixes, scheds, []int{1})
+	ms := NewMixStudy(tinyMixConfig(), mixes, scheds, []int{1}, nil)
 	results := ms.Results()
 	tab := ms.FairnessTable(results)
 	if len(tab.Rows) != 1 || tab.Rows[0] != "WS:8+TPCH-Q6:8" {

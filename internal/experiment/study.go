@@ -26,6 +26,9 @@ type Config struct {
 	Parallelism int
 	// Workloads defaults to workload.All().
 	Workloads []workload.Profile
+	// MaxSlowdownSLO configures the QoS scheduler's per-tenant
+	// slowdown budget in mix studies (0 = the scheduler's default).
+	MaxSlowdownSLO float64
 }
 
 // Quick returns a configuration sized for tests and benchmarks
@@ -67,6 +70,11 @@ type runKey struct {
 	page      string
 	mapping   addrmap.Scheme
 	channels  int
+	// isolation is the Isolation axis value (String form) for mix
+	// runs; solo baselines leave it empty — a tenant's "alone on its
+	// cores" baseline owns the whole machine, so every isolation cell
+	// of a mix shares one baseline simulation.
+	isolation string
 }
 
 // Study runs and caches the simulation grid behind the figures.
@@ -132,6 +140,15 @@ func (s *Study) applyStudyConfig(cfg *core.Config, k runKey) {
 		StarvationThreshold: quantum / 8,
 		ScanDepth:           2,
 	}
+	// The QoS scheduler monitors at the same compressed quantum; its
+	// SLO comes from the study configuration.
+	qos := sched.DefaultQoSConfig()
+	qos.QuantumCycles = quantum
+	qos.StarvationThreshold = quantum / 8
+	if s.cfg.MaxSlowdownSLO > 0 {
+		qos.MaxSlowdownSLO = s.cfg.MaxSlowdownSLO
+	}
+	cfg.SchedOpts.QoS = qos
 }
 
 func baselineKey(acr string) runKey {

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func testQoSConfig() QoSConfig {
+	return QoSConfig{
+		MaxSlowdownSLO:      2.0,
+		QuantumCycles:       1_000,
+		Alpha:               0.875,
+		StarvationThreshold: 500,
+		ScanDepth:           4,
+		BaselineLatency:     100,
+	}
+}
+
+// TestQoSTrackerBoostsViolators: a tenant whose observed latency
+// projects its slowdown above the SLO must outrank every non-violator,
+// even one with less attained service.
+func TestQoSTrackerBoostsViolators(t *testing.T) {
+	tr := NewQoSTracker(2, testQoSConfig())
+	// Tenant 0: light service but latency 5x baseline (slowdown 5 > SLO 2).
+	// Tenant 1: no service at all (would win pure LAS) and fast reads.
+	tr.AddService(0, 10)
+	for i := 0; i < 20; i++ {
+		tr.ObserveRead(0, 500)
+		tr.ObserveRead(1, 100)
+	}
+	tr.Tick(1_000)
+	if tr.Estimate(0) <= tr.cfg.MaxSlowdownSLO {
+		t.Fatalf("tenant 0 estimate %.2f not above SLO", tr.Estimate(0))
+	}
+	if got0, got1 := tr.Rank(0), tr.Rank(1); got0 >= got1 {
+		t.Fatalf("violating tenant ranked %d, non-violator %d; boost missing", got0, got1)
+	}
+}
+
+// TestQoSTrackerViolatorsOrderedByService: among violators, least
+// attained service wins — the adversary whose latency is
+// self-inflicted must not outrank the light victim it is hurting.
+func TestQoSTrackerViolatorsOrderedByService(t *testing.T) {
+	tr := NewQoSTracker(2, testQoSConfig())
+	tr.AddService(0, 5)   // victim: little service
+	tr.AddService(1, 500) // hog: heavy service
+	for i := 0; i < 20; i++ {
+		tr.ObserveRead(0, 400) // both violate the SLO
+		tr.ObserveRead(1, 900)
+	}
+	tr.Tick(1_000)
+	if tr.Rank(0) >= tr.Rank(1) {
+		t.Fatalf("victim rank %d >= hog rank %d despite LAS tie-break", tr.Rank(0), tr.Rank(1))
+	}
+}
+
+// TestQoSTrackerIdleDecay: a tenant that stops issuing reads must
+// decay below the SLO instead of staying boosted forever.
+func TestQoSTrackerIdleDecay(t *testing.T) {
+	cfg := testQoSConfig()
+	tr := NewQoSTracker(1, cfg)
+	for i := 0; i < 20; i++ {
+		tr.ObserveRead(0, 1_000)
+	}
+	tr.Tick(1_000)
+	if tr.Estimate(0) <= cfg.MaxSlowdownSLO {
+		t.Fatalf("estimate %.2f should start above SLO", tr.Estimate(0))
+	}
+	now := uint64(1_000)
+	for i := 0; i < 40 && tr.Estimate(0) > cfg.MaxSlowdownSLO; i++ {
+		now += cfg.QuantumCycles
+		tr.Tick(now)
+	}
+	if tr.Estimate(0) > cfg.MaxSlowdownSLO {
+		t.Fatalf("idle tenant still above SLO after decay: %.2f", tr.Estimate(0))
+	}
+}
+
+// TestQoSTrackerQuantumIdempotent: multiple Ticks inside one quantum
+// (one per channel) must not re-smooth the estimates.
+func TestQoSTrackerQuantumIdempotent(t *testing.T) {
+	tr := NewQoSTracker(1, testQoSConfig())
+	for i := 0; i < 4; i++ {
+		tr.ObserveRead(0, 300)
+	}
+	tr.Tick(1_000)
+	est := tr.Estimate(0)
+	tr.Tick(1_000)
+	tr.Tick(1_001)
+	if tr.Estimate(0) != est {
+		t.Fatalf("estimate re-smoothed within a quantum: %.4f -> %.4f", est, tr.Estimate(0))
+	}
+	if tr.NextBoundary() != 1_000+testQoSConfig().QuantumCycles {
+		t.Fatalf("next boundary %d", tr.NextBoundary())
+	}
+}
+
+// TestParseKindQoSAndCaseInsensitive: the CLI vocabulary gains QoS and
+// forgives case; unknown names list the valid ones.
+func TestParseKindQoSAndCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"QoS", "qos", "QOS", "atlas", "fr-fcfs"} {
+		if _, err := ParseKind(name); err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+	}
+	_, err := ParseKind("bogus")
+	if err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	for _, want := range []string{"FR-FCFS", "ATLAS", "QoS", "RL", "PAR-BS", "FCFS_Banks"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %s", err, want)
+		}
+	}
+}
+
+// TestQoSNotInPaperGrids: the figure grids must keep plotting exactly
+// the paper's five algorithms.
+func TestQoSNotInPaperGrids(t *testing.T) {
+	for _, k := range Kinds {
+		if k == QoS {
+			t.Fatal("QoS leaked into the paper's Kinds grid")
+		}
+	}
+	if QoS.String() != "QoS" {
+		t.Fatalf("QoS name = %q", QoS.String())
+	}
+}

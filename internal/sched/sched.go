@@ -10,6 +10,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 
 	"cloudmc/internal/memctrl"
 )
@@ -30,6 +31,12 @@ const (
 	ATLAS
 	// RL is the reinforcement-learning self-optimizing scheduler.
 	RL
+	// QoS is the SLO-targeting scheduler for multi-tenant systems: it
+	// monitors per-tenant attained service and memory latency against
+	// a max-slowdown SLO and boosts tenants projected to violate it
+	// (package-level doc in qos.go). It is not part of the paper's
+	// figure grids (Kinds).
+	QoS
 )
 
 // Kinds lists the algorithms in the order the paper's figures plot
@@ -42,6 +49,7 @@ var kindNames = map[Kind]string{
 	PARBS:     "PAR-BS",
 	ATLAS:     "ATLAS",
 	RL:        "RL",
+	QoS:       "QoS",
 }
 
 func (k Kind) String() string {
@@ -52,14 +60,19 @@ func (k Kind) String() string {
 }
 
 // ParseKind converts an algorithm name (as printed by String) back to
-// its Kind.
+// its Kind, case-insensitively. Unknown names produce an error that
+// lists every valid name, so a typo in a CLI flag is self-explaining.
 func ParseKind(name string) (Kind, error) {
 	for k, n := range kindNames {
-		if n == name {
+		if strings.EqualFold(n, name) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("sched: unknown scheduling algorithm %q", name)
+	valid := make([]string, 0, len(kindNames))
+	for _, k := range append(append([]Kind{}, Kinds...), QoS) {
+		valid = append(valid, kindNames[k])
+	}
+	return 0, fmt.Errorf("sched: unknown scheduling algorithm %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 // Factory builds one policy instance per memory channel. Instances
@@ -81,13 +94,15 @@ type Opts struct {
 	Tenants int
 	// Seed feeds the RL scheduler's exploration stream.
 	Seed uint64
-	// ATLAS, PARBS and RL override algorithm parameters. The paper's
-	// ATLAS quantum is 10M cycles against multi-billion-cycle samples;
-	// studies with compressed measurement windows must scale
-	// QuantumCycles and StarvationThreshold accordingly.
+	// ATLAS, PARBS, RL and QoS override algorithm parameters. The
+	// paper's ATLAS quantum is 10M cycles against multi-billion-cycle
+	// samples; studies with compressed measurement windows must scale
+	// QuantumCycles and StarvationThreshold accordingly (the QoS
+	// quantum too).
 	ATLAS ATLASConfig
 	PARBS PARBSConfig
 	RL    RLConfig
+	QoS   QoSConfig
 }
 
 func (o Opts) atlas() ATLASConfig {
@@ -109,6 +124,13 @@ func (o Opts) rl() RLConfig {
 		return DefaultRLConfig()
 	}
 	return o.RL
+}
+
+func (o Opts) qos() QoSConfig {
+	if o.QoS.QuantumCycles == 0 {
+		return DefaultQoSConfig()
+	}
+	return o.QoS
 }
 
 // NewFactory returns a Factory for the given algorithm with default
@@ -137,6 +159,13 @@ func NewFactoryOpts(kind Kind, opts Opts) Factory {
 		return func(channel int) memctrl.Policy {
 			return NewRL(opts.rl(), opts.Seed+uint64(channel)*0x9e3779b97f4a7c15)
 		}
+	case QoS:
+		slots, byTenant := opts.Cores, false
+		if opts.Tenants > 0 {
+			slots, byTenant = opts.Tenants, true
+		}
+		tracker := NewQoSTracker(slots, opts.qos())
+		return func(int) memctrl.Policy { return NewQoS(opts.qos(), tracker, byTenant) }
 	default:
 		panic(fmt.Sprintf("sched: unknown kind %d", uint8(kind)))
 	}

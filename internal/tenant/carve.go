@@ -1,0 +1,144 @@
+package tenant
+
+import "fmt"
+
+// Share is one tenant's contiguous slice of a partitioned hardware
+// resource (bank indices, LLC ways): the half-open range
+// [Start, Start+Count).
+type Share struct {
+	Start int
+	Count int
+}
+
+// CarvePow2 splits `total` resource units (a power of two) into
+// disjoint contiguous slices, one per weight, each a power of two and
+// at least one unit, sized as close to proportional with the weights
+// as the power-of-two constraint allows. Slices are assigned in order
+// from index 0; units left over by rounding stay unassigned. The
+// partitioned address mapper needs power-of-two slices so each
+// tenant's slice is itself a decodable bit field.
+func CarvePow2(total int, weights []int) ([]Share, error) {
+	if total <= 0 || total&(total-1) != 0 {
+		return nil, fmt.Errorf("tenant: carve total %d must be a positive power of two", total)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("tenant: carve needs at least one weight")
+	}
+	if len(weights) > total {
+		return nil, fmt.Errorf("tenant: cannot carve %d units among %d tenants", total, len(weights))
+	}
+	wsum := 0
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("tenant: carve weight %d of tenant %d must be positive", w, i)
+		}
+		wsum += w
+	}
+	counts := make([]int, len(weights))
+	sum := 0
+	for i, w := range weights {
+		c := prevPow2(total * w / wsum)
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+		sum += c
+	}
+	// The minimum-one bump can oversubscribe pathological weightings;
+	// halve the largest slice until the carve fits.
+	for sum > total {
+		big := -1
+		for i, c := range counts {
+			if c > 1 && (big < 0 || c > counts[big]) {
+				big = i
+			}
+		}
+		if big < 0 {
+			return nil, fmt.Errorf("tenant: cannot carve %d units among %d tenants", total, len(weights))
+		}
+		counts[big] /= 2
+		sum -= counts[big]
+	}
+	out := make([]Share, len(weights))
+	start := 0
+	for i, c := range counts {
+		out[i] = Share{Start: start, Count: c}
+		start += c
+	}
+	return out, nil
+}
+
+// CarveProportional splits `total` resource units into disjoint
+// contiguous slices proportional to the weights (largest-remainder
+// rounding, ties to the lower index), each at least one unit. Every
+// unit is assigned. LLC way-partitioning uses it: way counts need not
+// be powers of two.
+func CarveProportional(total int, weights []int) ([]Share, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("tenant: carve total %d must be positive", total)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("tenant: carve needs at least one weight")
+	}
+	if len(weights) > total {
+		return nil, fmt.Errorf("tenant: cannot carve %d units among %d tenants", total, len(weights))
+	}
+	wsum := 0
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("tenant: carve weight %d of tenant %d must be positive", w, i)
+		}
+		wsum += w
+	}
+	counts := make([]int, len(weights))
+	rem := make([]int, len(weights)) // remainder numerators, scale wsum
+	sum := 0
+	for i, w := range weights {
+		counts[i] = total * w / wsum
+		rem[i] = total*w - counts[i]*wsum
+		sum += counts[i]
+	}
+	for sum < total {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		sum++
+	}
+	// Guarantee every tenant at least one unit, taking from the largest.
+	for i := range counts {
+		for counts[i] < 1 {
+			big := -1
+			for j, c := range counts {
+				if c > 1 && (big < 0 || c > counts[big]) {
+					big = j
+				}
+			}
+			if big < 0 {
+				return nil, fmt.Errorf("tenant: cannot carve %d units among %d tenants", total, len(weights))
+			}
+			counts[big]--
+			counts[i]++
+		}
+	}
+	out := make([]Share, len(weights))
+	start := 0
+	for i, c := range counts {
+		out[i] = Share{Start: start, Count: c}
+		start += c
+	}
+	return out, nil
+}
+
+// prevPow2 returns the largest power of two <= v (0 for v < 1).
+func prevPow2(v int) int {
+	p := 0
+	for q := 1; q <= v; q <<= 1 {
+		p = q
+	}
+	return p
+}

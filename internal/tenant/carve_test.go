@@ -1,0 +1,142 @@
+package tenant
+
+import "testing"
+
+// checkDisjoint asserts shares are contiguous-from-zero-or-later,
+// non-overlapping, in order, and within [0, total).
+func checkDisjoint(t *testing.T, shares []Share, total int) {
+	t.Helper()
+	end := 0
+	for i, s := range shares {
+		if s.Count < 1 {
+			t.Fatalf("share %d empty: %+v", i, s)
+		}
+		if s.Start < end {
+			t.Fatalf("share %d overlaps predecessor: %+v (prev end %d)", i, s, end)
+		}
+		end = s.Start + s.Count
+	}
+	if end > total {
+		t.Fatalf("shares exceed total %d: %+v", total, shares)
+	}
+}
+
+func TestCarvePow2Proportional(t *testing.T) {
+	shares, err := CarvePow2(16, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjoint(t, shares, 16)
+	if shares[0].Count != 8 || shares[1].Count != 8 {
+		t.Fatalf("even split of 16 = %+v", shares)
+	}
+
+	shares, err = CarvePow2(16, []int{12, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjoint(t, shares, 16)
+	if shares[0].Count != 8 || shares[1].Count != 4 {
+		t.Fatalf("12:4 carve of 16 = %+v (want pow2 rounding 8,4)", shares)
+	}
+
+	shares, err = CarvePow2(16, []int{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjoint(t, shares, 16)
+	for i, s := range shares {
+		if s.Count != 4 {
+			t.Fatalf("share %d = %+v, want count 4", i, s)
+		}
+	}
+}
+
+func TestCarvePow2PowersOfTwoAlways(t *testing.T) {
+	weightSets := [][]int{{1, 15}, {3, 5, 8}, {1, 1, 1}, {7, 9}, {16}, {5, 5, 5, 1}}
+	for _, w := range weightSets {
+		shares, err := CarvePow2(16, w)
+		if err != nil {
+			t.Fatalf("weights %v: %v", w, err)
+		}
+		checkDisjoint(t, shares, 16)
+		for i, s := range shares {
+			if s.Count&(s.Count-1) != 0 {
+				t.Fatalf("weights %v share %d count %d not a power of two", w, i, s.Count)
+			}
+		}
+	}
+}
+
+func TestCarvePow2PathologicalWeightsStillFit(t *testing.T) {
+	// The minimum-one bump oversubscribes 4 units among weights
+	// {1,1,1,100} unless the carve halves the big slice.
+	shares, err := CarvePow2(4, []int{1, 1, 1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjoint(t, shares, 4)
+}
+
+func TestCarvePow2Errors(t *testing.T) {
+	if _, err := CarvePow2(12, []int{1}); err == nil {
+		t.Fatal("non-power-of-two total accepted")
+	}
+	if _, err := CarvePow2(4, []int{1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("more tenants than units accepted")
+	}
+	if _, err := CarvePow2(8, []int{2, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := CarvePow2(8, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+}
+
+func TestCarveProportionalExact(t *testing.T) {
+	shares, err := CarveProportional(16, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisjoint(t, shares, 16)
+	if shares[0].Count != 8 || shares[1].Count != 8 {
+		t.Fatalf("even split = %+v", shares)
+	}
+
+	// Largest remainder: 16 * {5,5,6}/16 = {5,5,6} exactly.
+	shares, err = CarveProportional(16, []int{5, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Count != 5 || shares[1].Count != 5 || shares[2].Count != 6 {
+		t.Fatalf("5:5:6 carve = %+v", shares)
+	}
+}
+
+func TestCarveProportionalAssignsEveryUnit(t *testing.T) {
+	weightSets := [][]int{{1, 15}, {3, 5, 8}, {1, 1, 1}, {7, 9}, {1, 100}, {2, 3, 5, 7}}
+	for _, w := range weightSets {
+		shares, err := CarveProportional(16, w)
+		if err != nil {
+			t.Fatalf("weights %v: %v", w, err)
+		}
+		checkDisjoint(t, shares, 16)
+		sum := 0
+		for _, s := range shares {
+			sum += s.Count
+		}
+		if sum != 16 {
+			t.Fatalf("weights %v assigned %d of 16 units: %+v", w, sum, shares)
+		}
+	}
+}
+
+func TestCarveProportionalMinimumOne(t *testing.T) {
+	shares, err := CarveProportional(16, []int{1, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Count < 1 {
+		t.Fatalf("starved tenant 0: %+v", shares)
+	}
+}
