@@ -250,27 +250,39 @@ func BenchmarkAblationATLASScanDepth(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (ns per
-// simulated cycle) per workload, with the event-horizon fast-forward
-// engine off (naive per-cycle loop) and on. The ff=on/ff=off ratio per
-// profile is the BENCH trajectory number for the engine; the paper's
-// low-intensity profiles (SAT Solver, TPC-H Q6, Web Search) are where
-// idle stretches dominate and the speedup is largest.
+// simulated cycle) per workload under the three execution modes:
+// ff=off (naive per-cycle loop), ff=scan (the PR 1 horizon-scan
+// fast-forward engine, Config.LegacyScan) and ff=on (the event
+// kernel, the default). The ff=on/ff=scan ratio per profile is the
+// BENCH trajectory number for the kernel refactor; the 64-core
+// profile is the regime the kernel exists for, where the per-step
+// O(n) scans dominate the legacy engine.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	ds64 := workload.DataServing()
+	ds64.Cores = 64
+	ds64.Acronym = "DS-64c"
 	profiles := []workload.Profile{
 		workload.DataServing(),
 		workload.SATSolver(),
 		workload.WebSearch(),
 		workload.TPCHQ6(),
+		ds64,
+	}
+	modes := []struct {
+		name        string
+		fastForward bool
+		legacyScan  bool
+	}{
+		{"ff=off", false, false},
+		{"ff=scan", true, true},
+		{"ff=on", true, false},
 	}
 	for _, p := range profiles {
-		for _, ff := range []bool{false, true} {
-			name := p.Acronym + "/ff=off"
-			if ff {
-				name = p.Acronym + "/ff=on"
-			}
-			b.Run(name, func(b *testing.B) {
+		for _, mode := range modes {
+			b.Run(p.Acronym+"/"+mode.name, func(b *testing.B) {
 				cfg := core.DefaultConfig(p)
-				cfg.FastForward = ff
+				cfg.FastForward = mode.fastForward
+				cfg.LegacyScan = mode.legacyScan
 				sys, err := core.NewSystem(cfg)
 				if err != nil {
 					b.Fatal(err)

@@ -7,15 +7,20 @@
 //
 // Usage:
 //
-//	mcmix [-mixes all|NAME,...] [-scheds FR-FCFS,ATLAS] [-channels 1]
+//	mcmix [-mixes all|NAME,...] [-gen N] [-mixsize K]
+//	      [-scheds FR-FCFS,ATLAS] [-channels 1]
 //	      [-isolation none|banks|ways|banks+ways,...] [-slo 2.0]
 //	      [-cycles N] [-warm N] [-seed N] [-list] [-detail]
 //
 // Custom mixes can be given as core-count-annotated acronym lists,
-// e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8". The isolation axis selects
-// the mitigation mechanisms: bank partitioning in the address map,
-// LLC way-partitioning, or both; the QoS scheduler (-scheds QoS)
-// targets the -slo max-slowdown budget.
+// e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8". -gen N samples N seeded
+// mixes of -mixsize total cores from the full Table 1 profile
+// cross-product (tenant.GenerateMixes) — the way to sweep 32- and
+// 64-core machines without hand-writing mix lists; the generated
+// mixes replace the canonical list unless -mixes names more. The
+// isolation axis selects the mitigation mechanisms: bank partitioning
+// in the address map, LLC way-partitioning, or both; the QoS
+// scheduler (-scheds QoS) targets the -slo max-slowdown budget.
 package main
 
 import (
@@ -34,6 +39,8 @@ import (
 
 func main() {
 	mixesFlag := flag.String("mixes", "all", "comma-separated mix list (all = canonical study mixes; custom: DS:8+HOG:8,...)")
+	gen := flag.Int("gen", 0, "generate N seeded mixes from the Table 1 profile cross-product (replaces the canonical list; explicit -mixes are kept)")
+	mixsize := flag.Int("mixsize", 32, "total cores per generated mix, split evenly among 2-4 tenants (with -gen)")
 	schedsFlag := flag.String("scheds", "FR-FCFS,ATLAS", "comma-separated schedulers to sweep")
 	channelsFlag := flag.String("channels", "1", "comma-separated channel counts to sweep")
 	isolationFlag := flag.String("isolation", "none", "comma-separated isolation modes to sweep (none, banks, ways, banks+ways, or all)")
@@ -58,9 +65,36 @@ func main() {
 		return
 	}
 
-	mixes, err := parseMixes(*mixesFlag)
-	if err != nil {
-		die(err)
+	var mixes []tenant.Mix
+	var err error
+	// -gen replaces the implicit canonical list; an explicit -mixes
+	// selection is kept alongside the generated mixes.
+	if *gen == 0 || (*mixesFlag != "all" && *mixesFlag != "") {
+		if mixes, err = parseMixes(*mixesFlag); err != nil {
+			die(err)
+		}
+	}
+	if *gen < 0 {
+		die(fmt.Errorf("mcmix: -gen %d must be positive", *gen))
+	}
+	if *gen > 0 {
+		generated, err := tenant.GenerateMixes(*seed, *gen, *mixsize)
+		if err != nil {
+			die(fmt.Errorf("mcmix: %w", err))
+		}
+		seen := map[string]bool{}
+		for _, m := range mixes {
+			seen[m.Name] = true
+		}
+		for _, m := range generated {
+			if seen[m.Name] {
+				// A mix name fully determines its spec, so a generated
+				// duplicate of an explicitly listed mix is the same
+				// scenario; keep the explicit one.
+				continue
+			}
+			mixes = append(mixes, m)
+		}
 	}
 	scheds, err := parseScheds(*schedsFlag)
 	if err != nil {

@@ -170,6 +170,16 @@ type Config struct {
 	// exists to run that comparison and to debug the engine itself.
 	// DefaultConfig enables it.
 	FastForward bool
+
+	// LegacyScan selects the PR 1 horizon-scan implementation of the
+	// fast-forward engine instead of the event kernel: every attempt to
+	// jump the clock re-polls every core, controller and queue for its
+	// next event (O(n) per attempt) rather than reading the kernel's
+	// wake-up queue (O(1)). Metrics are bit-identical either way; the
+	// flag exists as the differential baseline for the kernel (see
+	// kernel_test.go) and to measure the scan-vs-kernel speedup in
+	// BenchmarkSimulatorThroughput. Ignored unless FastForward is set.
+	LegacyScan bool
 }
 
 // DefaultConfig returns the paper's Table 2 baseline system for a

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+// runModes executes one Config under all three execution modes — the
+// naive per-cycle loop, the legacy horizon scan, and the event kernel
+// — and fails unless the Metrics and final clock agree bit-for-bit.
+// The naive loop ticks every component every cycle, so agreement means
+// the accelerated modes observed exactly the same event ordering.
+func runModes(t *testing.T, cfg Config, label string) Metrics {
+	t.Helper()
+	run := func(ff, legacy bool) (Metrics, uint64) {
+		c := cfg
+		c.FastForward = ff
+		c.LegacyScan = legacy
+		sys, err := NewSystem(c)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return sys.Run(), sys.cycle
+	}
+	naive, naiveCycle := run(false, false)
+	scan, scanCycle := run(true, true)
+	kernel, kernelCycle := run(true, false)
+	if naiveCycle != scanCycle || naiveCycle != kernelCycle {
+		t.Fatalf("%s: final clocks diverged: naive=%d scan=%d kernel=%d",
+			label, naiveCycle, scanCycle, kernelCycle)
+	}
+	if !reflect.DeepEqual(naive, scan) {
+		t.Fatalf("%s: legacy scan diverged from naive loop:\nnaive: %+v\nscan:  %+v", label, naive, scan)
+	}
+	if !reflect.DeepEqual(naive, kernel) {
+		t.Fatalf("%s: event kernel diverged from naive loop:\nnaive: %+v\nkernel: %+v", label, naive, kernel)
+	}
+	return kernel
+}
+
+// randomProfile draws a valid profile from the whole parameter space
+// the generator supports: any intensity, store mix, fractional CPI,
+// MLP depth, burst shape, per-core imbalance, region sizing, core
+// count (beyond the paper's 16) and optional DMA traffic.
+func randomProfile(rng *rand.Rand) workload.Profile {
+	cores := 2 + rng.Intn(23) // 2..24 — crosses the 16-core baseline
+	intensity := []float64{1}
+	if rng.Intn(2) == 0 {
+		intensity = make([]float64, 1+rng.Intn(4))
+		for i := range intensity {
+			intensity[i] = 0.3 + 2.2*rng.Float64()
+		}
+	}
+	memRefs := 100 + rng.Float64()*300
+	p := workload.Profile{
+		Name: "Random", Acronym: "RND", Category: workload.SCOW,
+		Cores:               cores,
+		MemRefsPerKiloInstr: memRefs,
+		StoreFraction:       rng.Float64() * 0.5,
+		BaseCPI:             1 + rng.Float64()*3,
+		TargetMPKI:          1 + rng.Float64()*29,
+		TargetRowHit:        0.05 + rng.Float64()*0.55,
+		TargetSingleAccess:  0.6 + rng.Float64()*0.3,
+		MLPLimit:            1 + rng.Intn(6),
+		BurstGapInstr:       rng.Intn(49),
+		BurstStoreFraction:  rng.Float64() * 0.6,
+		CoreIntensity:       intensity,
+		HotBytesPerCore:     uint64(16+rng.Intn(49)) << 10,
+		StreamBytes:         uint64(64+rng.Intn(193)) << 20,
+		ColdBytes:           uint64(512+rng.Intn(1537)) << 20,
+	}
+	if rng.Intn(3) == 0 {
+		p.IO = workload.IOProfile{
+			Enabled:            true,
+			BurstsPerMCycle:    20 + rng.Float64()*80,
+			ScalesWithChannels: rng.Intn(2) == 0,
+			BurstBlocks:        1 + rng.Intn(32),
+			WriteFraction:      rng.Float64(),
+		}
+	}
+	return p
+}
+
+// TestKernelDifferential is the differential property test of the
+// event-kernel refactor: random workloads (random traces by
+// construction — the generators are seeded stochastic streams) stepped
+// through the legacy horizon scan and the engine queue side by side
+// must produce identical event orderings and Metrics. The naive
+// per-cycle loop runs as the ground truth for both.
+func TestKernelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	kinds := []sched.Kind{sched.FRFCFS, sched.ATLAS, sched.PARBS, sched.FCFSBanks}
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProfile(rng)
+		cfg := DefaultConfig(p)
+		cfg.Scheduler = kinds[rng.Intn(len(kinds))]
+		cfg.Channels = 1 << rng.Intn(3)
+		cfg.Seed = rng.Uint64() | 1
+		cfg.WarmupCycles = 2_000
+		cfg.MeasureCycles = 10_000
+		cfg.WarmupInstrPerCore = 2_000
+		cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+			QuantumCycles: 3_000, Alpha: 0.875,
+			StarvationThreshold: 500, ScanDepth: 2,
+		}
+		label := p.Acronym + "/" + cfg.Scheduler.String()
+		t.Run(label, func(t *testing.T) {
+			m := runModes(t, cfg, label)
+			if m.Retired == 0 {
+				t.Fatalf("%s: degenerate trial retired nothing", label)
+			}
+		})
+	}
+}
+
+// TestKernel64CoreEquivalence pins the regime the kernel was built
+// for: a 64-core machine must still be bit-identical to the naive
+// per-cycle loop and the legacy scan.
+func TestKernel64CoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	p := workload.DataServing()
+	p.Cores = 64
+	cfg := DefaultConfig(p)
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 15_000
+	cfg.WarmupInstrPerCore = 2_000
+	m := runModes(t, cfg, "DS-64c")
+	if m.Retired == 0 {
+		t.Fatal("64-core run retired nothing")
+	}
+}
+
+// TestKernelMixEquivalence covers the colocation stack on the kernel:
+// a four-tenant 32-core mix under the QoS scheduler with bank and way
+// partitioning enabled, including per-tenant metrics.
+func TestKernelMixEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	mix := tenant.NewMix("",
+		tenant.Spec{Profile: workload.DataServing(), Cores: 8},
+		tenant.Spec{Profile: workload.WebFrontend(), Cores: 8},
+		tenant.Spec{Profile: workload.TPCHQ6(), Cores: 8},
+		tenant.Spec{Profile: workload.MemoryHog(), Cores: 8},
+	)
+	cfg := DefaultMixConfig(mix)
+	cfg.Scheduler = sched.QoS
+	cfg.Isolation = Isolation{BankPartition: true, WayPartition: true}
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 15_000
+	cfg.WarmupInstrPerCore = 2_000
+	m := runModes(t, cfg, "mix-32c")
+	if len(m.Tenants) != 4 {
+		t.Fatalf("expected 4 tenant breakdowns, got %d", len(m.Tenants))
+	}
+}
+
+// TestKernelChunkedAdvance checks that kernel-mode Advance composes:
+// uneven chunk boundaries (which force settles and jump truncation)
+// land on the same state as one call.
+func TestKernelChunkedAdvance(t *testing.T) {
+	cfg := DefaultConfig(workload.WebSearch())
+	cfg.WarmupInstrPerCore = 1_000
+	build := func() *System {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.FunctionalWarmup(1_000)
+		return sys
+	}
+	a, b := build(), build()
+	a.Advance(9_000)
+	for _, n := range []uint64{1, 7, 2_492, 3_000, 3_500} {
+		b.Advance(n)
+	}
+	am, bm := a.collect(9_000), b.collect(9_000)
+	if !reflect.DeepEqual(am, bm) {
+		t.Fatalf("chunked kernel Advance diverged:\none-shot: %+v\nchunked:  %+v", am, bm)
+	}
+}

@@ -111,6 +111,11 @@ type System struct {
 	coreTenant []int
 	warmed     bool
 
+	// kernelState is the event-kernel bookkeeping (see kernel.go);
+	// initialised only in the default execution mode (FastForward set,
+	// LegacyScan clear).
+	kernelState
+
 	mshr      mshrTable
 	wbq       []pendingWrite
 	ioq       []pendingIO
@@ -223,6 +228,9 @@ func NewSystem(cfg Config) (*System, error) {
 			s.ios = append(s.ios, io)
 			s.ioTenant = append(s.ioTenant, ti)
 		}
+	}
+	if cfg.FastForward && !cfg.LegacyScan {
+		s.initKernel()
 	}
 	return s, nil
 }
@@ -382,6 +390,7 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	if !ok {
 		return cpu.AccessResult{Rejected: true}
 	}
+	s.notifyCtrl(loc.Channel, now)
 	s.mshr.put(e)
 	s.demandMisses++
 	s.tenantMisses[ten]++
@@ -398,6 +407,7 @@ func (s *System) scheduleFill(at uint64, e *mshrEntry) {
 		i--
 	}
 	s.fillq[i] = delayedFill{at: at, e: e}
+	s.armFill()
 }
 
 // deliverFills applies all fills due by `now`.
@@ -418,10 +428,12 @@ func (s *System) fill(now uint64, e *mshrEntry) {
 		s.wbq = append(s.wbq, pendingWrite{addr: victim.Addr, core: -1, tenant: s.tenantOfAddr(victim.Addr)})
 	}
 	for _, c := range e.loads {
+		s.wakeCore(c, now)
 		s.installL1(now, c, e.addr, false)
 		s.cores[c].LoadReturned(now)
 	}
 	for _, c := range e.stores {
+		s.wakeCore(c, now)
 		s.installL1(now, c, e.addr, true)
 		s.cores[c].StoreDrained(now)
 	}
@@ -454,6 +466,7 @@ func (s *System) drainWritebacks(now uint64) {
 		if !s.ctrls[loc.Channel].EnqueueWrite(now, memctrl.Source{Core: wb.core, Tenant: wb.tenant}, wb.addr, loc, nil) {
 			return
 		}
+		s.notifyCtrl(loc.Channel, now)
 		s.wbq = s.wbq[1:]
 	}
 }
@@ -480,6 +493,7 @@ func (s *System) tickIO(now uint64) {
 		if !ok {
 			return
 		}
+		s.notifyCtrl(loc.Channel, now)
 		s.ioq = s.ioq[1:]
 	}
 }
@@ -614,8 +628,24 @@ func (s *System) FunctionalWarmup(instrPerCore uint64) {
 }
 
 // Step advances the whole system by one cycle. Most callers use Run;
-// Step exists for fine-grained tests and incremental benchmarks.
+// Step exists for fine-grained tests and incremental benchmarks. In
+// kernel mode the parked cores' stall counters are settled before
+// returning, so single-stepped statistics read exactly as the
+// per-cycle loop's would.
 func (s *System) Step() {
+	if s.kernelOn() {
+		s.stepKernel()
+		s.settleCores()
+		return
+	}
+	s.stepNaive()
+}
+
+// stepNaive is the reference per-cycle loop: every component is ticked
+// every cycle. It drives the FastForward=false mode and the legacy
+// horizon-scan mode, and is the baseline every accelerated mode must
+// match bit-for-bit.
+func (s *System) stepNaive() {
 	now := s.cycle
 	s.deliverFills(now)
 	s.tickIO(now)
@@ -630,8 +660,10 @@ func (s *System) Step() {
 }
 
 // horizon returns the earliest cycle >= s.cycle at which any component
-// can change state. A result equal to s.cycle means some component is
-// active now and the clock must advance cycle-by-cycle.
+// can change state, by scanning every component (the PR 1 engine; the
+// event kernel in kernel.go replaces this scan with queue lookups). A
+// result equal to s.cycle means some component is active now and the
+// clock must advance cycle-by-cycle.
 func (s *System) horizon() uint64 {
 	now := s.cycle
 	// Pending writebacks and rejected DMA requests retry every cycle.
@@ -686,22 +718,9 @@ func (s *System) fastForward(limit uint64) bool {
 	if h <= s.cycle {
 		return false
 	}
-	n := h - s.cycle
-	for _, a := range s.ios {
-		idle, fired := a.Scan(n)
-		if fired && idle == 0 {
-			n = 0
-			break
-		}
-		if idle < n {
-			n = idle
-		}
-	}
+	n := s.negotiateIOJump(h - s.cycle)
 	if n == 0 {
 		return false
-	}
-	for _, a := range s.ios {
-		a.Skip(n)
 	}
 	to := s.cycle + n
 	for _, c := range s.cores {
@@ -711,12 +730,41 @@ func (s *System) fastForward(limit uint64) bool {
 	return true
 }
 
-// Advance simulates n cycles from the current clock, using the
-// event-horizon fast-forward engine when Config.FastForward is set and
-// the per-cycle Step loop otherwise. Both paths produce bit-identical
-// state and statistics.
+// negotiateIOJump asks every IO agent to confirm up to n upcoming
+// cycles silent (consuming their per-cycle injection draws exactly
+// once via Scan) and returns the largest jump all agents agree to,
+// consuming that many confirmed-silent cycles with Skip. Zero means
+// some agent fires this cycle and the caller must step. A jump cut
+// short by one agent leaves the others' scanned-silent windows to be
+// absorbed by their later Next calls; both fast-forward engines share
+// this negotiation so their replay semantics cannot drift apart.
+func (s *System) negotiateIOJump(n uint64) uint64 {
+	for _, a := range s.ios {
+		idle, fired := a.Scan(n)
+		if fired && idle == 0 {
+			return 0
+		}
+		if idle < n {
+			n = idle
+		}
+	}
+	for _, a := range s.ios {
+		a.Skip(n)
+	}
+	return n
+}
+
+// Advance simulates n cycles from the current clock, using the event
+// kernel by default, the legacy horizon-scan fast-forward engine when
+// Config.LegacyScan asks for it, and the per-cycle Step loop when
+// FastForward is off. All three paths produce bit-identical state and
+// statistics (kernel_test.go runs them side by side).
 func (s *System) Advance(n uint64) {
 	end := s.cycle + n
+	if s.kernelOn() {
+		s.advanceKernel(end)
+		return
+	}
 	for s.cycle < end {
 		if s.cfg.FastForward && s.cycle >= s.ffRetryAt {
 			if s.fastForward(end) {
@@ -724,7 +772,7 @@ func (s *System) Advance(n uint64) {
 			}
 			s.ffRetryAt = s.cycle + ffBackoff
 		}
-		s.Step()
+		s.stepNaive()
 	}
 }
 

@@ -190,7 +190,9 @@ func (c *Core) Tick(now uint64, port Port) {
 // waiting on the memory system (a load fill at the MLP limit, or a
 // store stuck behind a full store buffer). Between now and the
 // returned cycle, Tick is a no-op except for the stall counters, which
-// Advance applies in bulk.
+// Advance applies in bulk. The event kernel (core/kernel.go) uses this
+// value as the core's wake-up time; the legacy horizon scan polls it
+// per fast-forward attempt.
 func (c *Core) NextEvent(now uint64) uint64 {
 	if c.blocked {
 		return Never
@@ -208,6 +210,10 @@ func (c *Core) NextEvent(now uint64) uint64 {
 // step, replicating exactly the stall statistics the per-cycle Tick
 // loop would have accumulated. It must only be called for windows in
 // which NextEvent(from) >= to held and no fill or drain arrived.
+// Windows are additive: splitting [from, to) at any boundary and
+// calling Advance per segment accumulates the same totals, which is
+// what lets the event kernel settle blocked cores lazily (on wake-up
+// or at an Advance boundary) instead of on every clock jump.
 func (c *Core) Advance(from, to uint64) {
 	if to <= from {
 		return

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegisterStartsDetached(t *testing.T) {
+	q := New()
+	a := q.Register("a")
+	b := q.Register("b")
+	if q.Len() != 2 || q.Name(a) != "a" || q.Name(b) != "b" {
+		t.Fatalf("registration bookkeeping broken: len=%d", q.Len())
+	}
+	if q.Armed(a) != Never || q.Armed(b) != Never {
+		t.Fatal("new sources must start detached")
+	}
+	if q.NextTime() != Never {
+		t.Fatalf("NextTime of empty queue = %d, want Never", q.NextTime())
+	}
+}
+
+// TestPopOrderIsRank pins the deterministic tie-break: sources armed
+// for the same cycle pop in registration order regardless of arm
+// order, and regardless of which window (ring or heap) held them.
+func TestPopOrderIsRank(t *testing.T) {
+	q := New()
+	ids := make([]ID, 8)
+	for i := range ids {
+		ids[i] = q.Register("src")
+	}
+	// Arm in scrambled order, half near (ring) and half far (heap),
+	// then advance so the far ones are due at the same cycle.
+	far := uint64(ringSlots + 5)
+	for _, i := range []int{5, 1, 7, 3} {
+		q.Arm(ids[i], far)
+	}
+	q.AdvanceTo(far - 3) // the remaining arms land in the ring window
+	for _, i := range []int{6, 0, 4, 2} {
+		q.Arm(ids[i], far)
+	}
+	q.AdvanceTo(far)
+	got := q.PopDue(nil)
+	if len(got) != 8 {
+		t.Fatalf("popped %d sources, want 8", len(got))
+	}
+	for i, id := range got {
+		if id != ids[i] {
+			t.Fatalf("pop order %v violates registration rank", got)
+		}
+	}
+}
+
+func TestRearmAndDisarm(t *testing.T) {
+	q := New()
+	a := q.Register("a")
+	b := q.Register("b")
+	q.Arm(a, 10)
+	q.Arm(b, 200) // heap
+	q.Arm(a, 300) // ring -> heap re-arm
+	if q.NextTime() != 200 {
+		t.Fatalf("NextTime = %d, want 200", q.NextTime())
+	}
+	q.Arm(b, 5) // heap -> ring re-arm
+	if q.NextTime() != 5 {
+		t.Fatalf("NextTime = %d, want 5", q.NextTime())
+	}
+	q.Disarm(b)
+	if q.NextTime() != 300 {
+		t.Fatalf("NextTime after disarm = %d, want 300", q.NextTime())
+	}
+	q.AdvanceTo(300)
+	if due := q.PopDue(nil); len(due) != 1 || due[0] != a {
+		t.Fatalf("due = %v, want [a]", due)
+	}
+	if q.Armed(a) != Never {
+		t.Fatal("popped source must be detached")
+	}
+}
+
+func TestClockDiscipline(t *testing.T) {
+	q := New()
+	a := q.Register("a")
+	q.Arm(a, 50)
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	q.AdvanceTo(30)
+	expectPanic("regression", func() { q.AdvanceTo(10) })
+	expectPanic("skipping an armed wake-up", func() { q.AdvanceTo(51) })
+	expectPanic("arming in the past", func() { q.Arm(a, 20) })
+	expectPanic("arming at the current cycle", func() {
+		b := q.Register("b")
+		q.Arm(b, 30)
+	})
+}
+
+// TestQueueMatchesReferenceModel drives random arm/disarm/advance/pop
+// sequences through the queue and a naive map-based model and checks
+// NextTime and pop order agree at every step. This is the kernel-level
+// half of the differential suite (package core holds the system-level
+// half).
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		q := New()
+		n := 2 + rng.Intn(30)
+		model := make([]uint64, n) // id -> wake time, Never = detached
+		for i := 0; i < n; i++ {
+			q.Register("s")
+			model[i] = Never
+		}
+		modelNext := func() uint64 {
+			min := uint64(Never)
+			for _, at := range model {
+				if at < min {
+					min = at
+				}
+			}
+			return min
+		}
+		now := uint64(0)
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // arm a random source at a random future cycle
+				id := rng.Intn(n)
+				// Mix near (ring) and far (heap) horizons.
+				var at uint64
+				if rng.Intn(2) == 0 {
+					at = now + 1 + uint64(rng.Intn(ringSlots-1))
+				} else {
+					at = now + uint64(ringSlots) + uint64(rng.Intn(500))
+				}
+				q.Arm(ID(id), at)
+				model[id] = at
+			case 2: // disarm
+				id := rng.Intn(n)
+				q.Disarm(ID(id))
+				model[id] = Never
+			case 3: // advance to the next event (or nearby) and pop
+				next := modelNext()
+				if got := q.NextTime(); got != next {
+					t.Fatalf("trial %d step %d: NextTime = %d, model says %d", trial, step, got, next)
+				}
+				if next == Never {
+					continue
+				}
+				now = next
+				q.AdvanceTo(now)
+				due := q.PopDue(nil)
+				var want []ID
+				for id, at := range model {
+					if at <= now {
+						want = append(want, ID(id))
+						model[id] = Never
+					}
+				}
+				if len(due) != len(want) {
+					t.Fatalf("trial %d step %d: popped %v, model wanted %v", trial, step, due, want)
+				}
+				for i := range due {
+					if due[i] != want[i] {
+						t.Fatalf("trial %d step %d: pop order %v, model order %v", trial, step, due, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkArmPopNear(b *testing.B) {
+	q := New()
+	const n = 64
+	for i := 0; i < n; i++ {
+		q.Register("core")
+	}
+	buf := make([]ID, 0, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := q.Now()
+		for id := 0; id < n; id++ {
+			q.Arm(ID(id), now+2)
+		}
+		q.AdvanceTo(now + 2)
+		buf = q.PopDue(buf[:0])
+	}
+}

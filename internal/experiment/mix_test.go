@@ -119,3 +119,30 @@ func TestFairnessTableShape(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+// TestMixStudyGeneratedMixes: the seeded mix generator plugs straight
+// into MixStudy — a 64-core generated mix sweeps like a hand-written
+// one, producing per-tenant breakdowns and fairness numbers.
+func TestMixStudyGeneratedMixes(t *testing.T) {
+	mixes, err := tenant.GenerateMixes(3, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MeasureCycles: 8_000, WarmupCycles: 2_000, Seed: 1}
+	ms := NewMixStudy(cfg, mixes, []sched.Kind{sched.FRFCFS}, []int{1}, nil)
+	results := ms.Results()
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Mix.TotalCores() != 64 {
+			t.Fatalf("mix %q has %d cores, want 64", r.Mix.Name, r.Mix.TotalCores())
+		}
+		if len(r.Shared.Tenants) != len(r.Mix.Tenants) {
+			t.Fatalf("mix %q: %d tenant breakdowns for %d tenants", r.Mix.Name, len(r.Shared.Tenants), len(r.Mix.Tenants))
+		}
+		if r.Fairness.WeightedSpeedup <= 0 {
+			t.Fatalf("mix %q: degenerate weighted speedup %f", r.Mix.Name, r.Fairness.WeightedSpeedup)
+		}
+	}
+}

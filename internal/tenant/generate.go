@@ -1,0 +1,83 @@
+package tenant
+
+import (
+	"fmt"
+
+	"cloudmc/internal/workload"
+)
+
+// genRNG is a deterministic xorshift64* stream for mix generation,
+// independent of the simulation RNGs (generating scenarios must not
+// perturb their draws).
+type genRNG struct{ s uint64 }
+
+func newGenRNG(seed uint64) genRNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return genRNG{s: seed ^ 0xd6e8feb86659fd93}
+}
+
+func (r *genRNG) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *genRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// genAttemptsPerMix bounds the rejection sampling in GenerateMixes: a
+// duplicate draw is retried at most this many times per requested mix
+// before the cross-product is declared exhausted.
+const genAttemptsPerMix = 1000
+
+// GenerateMixes deterministically samples n distinct colocation mixes
+// of mixCores total cores each from the full Table 1 profile
+// cross-product — the ROADMAP's "larger-N mixes" axis, built to sweep
+// 32- and 64-core machines beyond the hand-picked StudyMixes. Each
+// mix splits its cores evenly among 2, 3 or 4 tenants (a divisor of
+// mixCores, chosen per mix) and draws every tenant's profile
+// uniformly, with replacement, from the twelve Table 1 workloads, so
+// repeated-profile pairs (DS+DS) and cross-category mixes are all
+// reachable. The same (seed, n, mixCores) triple always yields the
+// same mixes, in the same order, so study caches and result tables
+// stay reproducible across runs.
+func GenerateMixes(seed uint64, n, mixCores int) ([]Mix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tenant: mix count %d must be positive", n)
+	}
+	var splits []int
+	for _, t := range []int{2, 3, 4} {
+		if mixCores >= 2*t && mixCores%t == 0 {
+			splits = append(splits, t)
+		}
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("tenant: mix size %d cannot be split among tenants (want >= 4 total cores, divisible by 2, 3, or 4, with at least 2 cores per tenant)", mixCores)
+	}
+	profiles := workload.All()
+	rng := newGenRNG(seed)
+	seen := make(map[string]bool, n)
+	out := make([]Mix, 0, n)
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts >= genAttemptsPerMix*n {
+			return nil, fmt.Errorf("tenant: could not draw %d distinct mixes of %d cores (profile cross-product exhausted after %d attempts; found %d)",
+				n, mixCores, attempts, len(out))
+		}
+		t := splits[rng.intn(len(splits))]
+		specs := make([]Spec, t)
+		for i := range specs {
+			specs[i] = Spec{Profile: profiles[rng.intn(len(profiles))], Cores: mixCores / t}
+		}
+		m := NewMix("", specs...)
+		if seen[m.Name] {
+			continue
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}

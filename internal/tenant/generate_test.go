@@ -1,0 +1,94 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateMixesDeterministic(t *testing.T) {
+	a, err := GenerateMixes(7, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMixes(7, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("generated %d and %d mixes, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("same seed diverged at mix %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+	c, err := GenerateMixes(8, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Name == c[i].Name {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical mix sequences")
+	}
+}
+
+func TestGenerateMixesShape(t *testing.T) {
+	for _, size := range []int{8, 12, 32, 64} {
+		mixes, err := GenerateMixes(1, 20, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		names := map[string]bool{}
+		for _, m := range mixes {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("size %d: generated invalid mix %q: %v", size, m.Name, err)
+			}
+			if got := m.TotalCores(); got != size {
+				t.Fatalf("size %d: mix %q has %d cores", size, m.Name, got)
+			}
+			if n := len(m.Tenants); n < 2 || n > 4 {
+				t.Fatalf("size %d: mix %q has %d tenants, want 2-4", size, m.Name, n)
+			}
+			per := m.Tenants[0].CoreCount()
+			for _, sp := range m.Tenants {
+				if sp.CoreCount() != per {
+					t.Fatalf("size %d: mix %q splits cores unevenly", size, m.Name)
+				}
+			}
+			if names[m.Name] {
+				t.Fatalf("size %d: duplicate mix %q", size, m.Name)
+			}
+			names[m.Name] = true
+		}
+	}
+}
+
+func TestGenerateMixesRejectsBadArguments(t *testing.T) {
+	if _, err := GenerateMixes(1, 0, 32); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("n=0 accepted or unhelpful error: %v", err)
+	}
+	for _, size := range []int{0, 1, 2, 5, 7} {
+		_, err := GenerateMixes(1, 3, size)
+		if err == nil {
+			t.Fatalf("mix size %d accepted", size)
+		}
+		if !strings.Contains(err.Error(), "divisible by 2, 3, or 4") {
+			t.Fatalf("mix size %d: error does not explain the constraint: %v", size, err)
+		}
+	}
+	// Size 6 splits as 2x3 or 3x2 but not 4; must be accepted.
+	if _, err := GenerateMixes(1, 3, 6); err != nil {
+		t.Fatalf("mix size 6 rejected: %v", err)
+	}
+	// Asking for more distinct mixes than the cross-product holds must
+	// fail with the exhaustion error, not loop forever. Size 4 only
+	// splits as 2x2 over 12 profiles -> at most 144 distinct mixes.
+	if _, err := GenerateMixes(1, 200, 4); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("cross-product exhaustion not reported: %v", err)
+	}
+}
