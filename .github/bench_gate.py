@@ -8,15 +8,31 @@ lines (a format the Go tool has kept stable for a decade) keeps the
 gate independent of benchstat's report layout; benchstat is still run
 separately for the human-readable table.
 
+Edge cases are reported, never silently swallowed:
+  - benchmarks present only in head (newly added profiles) are listed
+    and excluded from the ratio;
+  - benchmarks present only in base (dropped from head) are listed as
+    a loud warning — a rename shows up as one of each;
+  - an empty base file (nothing to gate against, e.g. the benchmark
+    was just introduced) SKIPs with an explicit message;
+  - a non-empty base with an empty intersection FAILs: the head lost
+    every gated benchmark, which must not pass as "no data".
+
 Usage: bench_gate.py base.txt head.txt [threshold]
   threshold: maximum allowed geomean head/base time ratio
              (default 1.10 = 10% slower)
+
+Self-test: bench_gate.py --self-test
+  exercises the parser and every edge case above on synthetic files;
+  CI runs it before trusting the gate.
 """
 
 import math
+import os
 import re
 import statistics
 import sys
+import tempfile
 
 LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op")
 
@@ -32,30 +48,110 @@ def medians(path):
     return {name: statistics.median(v) for name, v in samples.items()}
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    base = medians(sys.argv[1])
-    head = medians(sys.argv[2])
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10
+def gate(base_path, head_path, threshold):
+    """Run the gate; returns the process exit code (0 pass/skip, 1 fail)."""
+    base = medians(base_path)
+    head = medians(head_path)
 
+    head_only = sorted(set(head) - set(base))
+    base_only = sorted(set(base) - set(head))
+    if head_only:
+        print(f"NOTE: {len(head_only)} benchmark(s) only in head (new, not gated):")
+        for name in head_only:
+            print(f"  {name}")
+    if base_only:
+        print(f"WARNING: {len(base_only)} benchmark(s) only in base (missing from head):")
+        for name in base_only:
+            print(f"  {name}")
+
+    if not base:
+        print("SKIP: base has no benchmarks to gate against")
+        return 0
     common = sorted(set(base) & set(head))
     if not common:
-        print("no common benchmarks between base and head; skipping gate")
-        return
+        print("FAIL: base and head share no benchmarks — head lost all gated coverage")
+        return 1
+
     ratios = []
     for name in common:
         if base[name] <= 0 or head[name] <= 0:
+            print(f"NOTE: skipping {name}: non-positive median (base {base[name]}, head {head[name]})")
             continue
         r = head[name] / base[name]
         ratios.append(r)
         print(f"{name}: {base[name]:.1f} -> {head[name]:.1f} ns/op ({r - 1:+.1%} vs base)")
+    if not ratios:
+        print("FAIL: no usable benchmark pairs after filtering non-positive medians")
+        return 1
     geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
     print(f"\ngeomean head/base time ratio: {geomean:.4f} over {len(ratios)} benchmarks")
     if geomean > threshold:
         print(f"FAIL: geomean regression exceeds {threshold - 1:.0%} budget")
-        sys.exit(1)
+        return 1
     print("PASS")
+    return 0
+
+
+def self_test():
+    """Exercise the parser and every edge case on synthetic files."""
+    def bench_file(lines):
+        fd, path = tempfile.mkstemp(suffix=".txt")
+        with os.fdopen(fd, "w") as f:
+            f.write("\n".join(lines) + "\n")
+        return path
+
+    def run(base_lines, head_lines, threshold=1.10):
+        base, head = bench_file(base_lines), bench_file(head_lines)
+        try:
+            return gate(base, head, threshold)
+        finally:
+            os.unlink(base)
+            os.unlink(head)
+
+    failures = []
+
+    def check(name, got, want):
+        status = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+        print(f"--- self-test: {name}: {status}")
+        if got != want:
+            failures.append(name)
+
+    b = ["BenchmarkX/a 100 50.0 ns/op", "BenchmarkX/a 100 52.0 ns/op",
+         "BenchmarkX/b 100 80.0 ns/op"]
+
+    # 1. Unchanged medians pass.
+    check("identical pass", run(b, b), 0)
+    # 2. A clear regression fails.
+    worse = ["BenchmarkX/a 100 90.0 ns/op", "BenchmarkX/b 100 150.0 ns/op"]
+    check("regression fails", run(b, worse), 1)
+    # 3. A benchmark only in head (new profile) is excluded, gate still passes.
+    head_extra = b + ["BenchmarkX/new 100 10.0 ns/op"]
+    check("head-only benchmark tolerated", run(b, head_extra), 0)
+    # 4. Empty base (no benchmarks yet) skips, does not crash.
+    check("empty base skips", run(["unrelated output"], b), 0)
+    # 5. Non-empty base with empty intersection fails, does not pass silently.
+    check("empty intersection fails", run(b, ["BenchmarkY/z 100 10.0 ns/op"]), 1)
+    # 6. Improvement passes under the threshold.
+    better = ["BenchmarkX/a 100 30.0 ns/op", "BenchmarkX/b 100 60.0 ns/op"]
+    check("improvement passes", run(b, better), 0)
+    # 7. Scientific-notation medians parse.
+    sci = ["BenchmarkX/a 1000000 5.1e+01 ns/op", "BenchmarkX/b 100 8.0e+01 ns/op"]
+    check("scientific notation parses", run(b, sci), 0)
+
+    if failures:
+        print(f"self-test FAILED: {', '.join(failures)}")
+        return 1
+    print("self-test PASSED")
+    return 0
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        sys.exit(self_test())
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10
+    sys.exit(gate(sys.argv[1], sys.argv[2], threshold))
 
 
 if __name__ == "__main__":

@@ -189,3 +189,112 @@ func TestKernelChunkedAdvance(t *testing.T) {
 		t.Fatalf("chunked kernel Advance diverged:\none-shot: %+v\nchunked:  %+v", am, bm)
 	}
 }
+
+// stepAndAudit single-steps a kernel-mode system and, every time a
+// controller's park horizon moves (a park, a re-park, or a
+// bank-granular re-arm from an enqueue), replays the parked window
+// cycle by cycle against the raw DRAM legality rules: horizons must
+// be exact — never late (a legal command inside the window would
+// desynchronize the engines) and never early (a spurious wake would
+// mask lateness bugs by brute force).
+func stepAndAudit(t *testing.T, cfg Config, cycles uint64, label string) {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !sys.kernelOn() {
+		t.Fatalf("%s: expected kernel mode", label)
+	}
+	sys.FunctionalWarmup(2_000)
+	last := make([]uint64, len(sys.ctrls))
+	audits := 0
+	for i := uint64(0); i < cycles; i++ {
+		sys.Step()
+		now := sys.cycle - 1
+		for ci, ctl := range sys.ctrls {
+			w := ctl.ParkHorizon()
+			if w == last[ci] {
+				continue
+			}
+			last[ci] = w
+			if err := ctl.VerifyParkHorizon(now, 4_096); err != nil {
+				t.Fatalf("%s: mc%d at cycle %d: %v", label, ci, now, err)
+			}
+			audits++
+		}
+	}
+	if audits == 0 {
+		t.Fatalf("%s: no park horizons were ever established — audit exercised nothing", label)
+	}
+}
+
+// TestParkHorizonExactness is the system-level property test of the
+// per-bank wake-up horizons: randomized profiles (including >16-core
+// configs and DMA agents) under FR-FCFS, ATLAS, PAR-BS and QoS, plus
+// an isolated multi-tenant mix, all audited park by park.
+func TestParkHorizonExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-stepped audits are slow")
+	}
+	kinds := []sched.Kind{sched.FRFCFS, sched.ATLAS, sched.PARBS, sched.QoS}
+	rng := rand.New(rand.NewSource(20260731))
+	for trial := 0; trial < 6; trial++ {
+		p := randomProfile(rng)
+		cfg := DefaultConfig(p)
+		cfg.Scheduler = kinds[trial%len(kinds)]
+		cfg.Channels = 1 << rng.Intn(2)
+		cfg.Seed = rng.Uint64() | 1
+		cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+			QuantumCycles: 3_000, Alpha: 0.875,
+			StarvationThreshold: 500, ScanDepth: 2,
+		}
+		cfg.SchedOpts.QoS = sched.QoSConfig{
+			MaxSlowdownSLO: 1.5, QuantumCycles: 5_000, Alpha: 0.875,
+			StarvationThreshold: 1_000, ScanDepth: 4, BaselineLatency: 70,
+		}
+		label := p.Acronym + "/" + cfg.Scheduler.String()
+		t.Run(label, func(t *testing.T) {
+			stepAndAudit(t, cfg, 12_000, label)
+		})
+	}
+
+	t.Run("isolated-mix-32c", func(t *testing.T) {
+		mix := tenant.NewMix("",
+			tenant.Spec{Profile: workload.DataServing(), Cores: 8},
+			tenant.Spec{Profile: workload.TPCHQ6(), Cores: 8},
+			tenant.Spec{Profile: workload.MemoryHog(), Cores: 16},
+		)
+		cfg := DefaultMixConfig(mix)
+		cfg.Scheduler = sched.QoS
+		cfg.Isolation = Isolation{BankPartition: true, WayPartition: true}
+		cfg.SchedOpts.QoS = sched.QoSConfig{
+			MaxSlowdownSLO: 1.5, QuantumCycles: 5_000, Alpha: 0.875,
+			StarvationThreshold: 1_000, ScanDepth: 4, BaselineLatency: 70,
+		}
+		stepAndAudit(t, cfg, 12_000, "isolated-mix-32c")
+	})
+}
+
+// TestKernelWriteHeavyEquivalence pins the park-heavy regime the
+// per-bank horizons optimize: a write-dominated profile spends most
+// of its time in drain shadows, where enqueues into parked
+// controllers take the O(1) re-arm path. All three engines must stay
+// bit-identical through it.
+func TestKernelWriteHeavyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulations are slow")
+	}
+	p := workload.MapReduce()
+	p.StoreFraction = 0.6
+	p.BurstStoreFraction = 0.7
+	p.Acronym = "WH"
+	cfg := DefaultConfig(p)
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 15_000
+	cfg.WarmupInstrPerCore = 2_000
+	m := runModes(t, cfg, "WH")
+	if m.WritesServed == 0 {
+		t.Fatal("write-heavy run served no writes")
+	}
+}

@@ -63,6 +63,16 @@ type Channel struct {
 	// lastReadDataEnd feeds the read-to-write turnaround.
 	lastWriteDataEnd uint64
 	lastReadDataEnd  uint64
+
+	// dataEpoch counts column accesses on this channel. The
+	// channel-level data-bus constraints (dataFreeAt, tWTR, the
+	// read-to-write bubble) move only on a READ or WRITE, so cached
+	// column horizons stamped with it revalidate by comparison. The
+	// command bus deliberately has no epoch: its constraint is
+	// lastCmdAt+1, which never exceeds the current cycle of a parked
+	// controller and is therefore always absorbed by the horizon's
+	// now+1 clamp.
+	dataEpoch uint32
 }
 
 // NewChannel returns a channel with all banks precharged.
@@ -78,6 +88,10 @@ func NewChannel(id int, geo Geometry, tim Timing) *Channel {
 func (c *Channel) Bank(rank, bank int) *Bank {
 	return &c.Ranks[rank].Banks[bank]
 }
+
+// DataEpoch returns the channel's data-bus constraint epoch (see
+// dataEpoch).
+func (c *Channel) DataEpoch() uint32 { return c.dataEpoch }
 
 // OpenRow returns the open row of the addressed bank and whether any
 // row is open.
@@ -234,6 +248,7 @@ func (c *Channel) Issue(now uint64, cmd Command) uint64 {
 		return now + uint64(c.Tim.RP)
 	case CmdRead:
 		bank.read(now, &c.Tim)
+		c.dataEpoch++
 		end := now + uint64(c.Tim.CAS+c.Tim.Burst)
 		c.dataFreeAt = end
 		c.lastReadDataEnd = end
@@ -242,6 +257,7 @@ func (c *Channel) Issue(now uint64, cmd Command) uint64 {
 		return end
 	case CmdWrite:
 		bank.write(now, &c.Tim)
+		c.dataEpoch++
 		end := now + uint64(c.Tim.CWL+c.Tim.Burst)
 		c.dataFreeAt = end
 		c.lastWriteDataEnd = end

@@ -135,3 +135,59 @@ func TestRankNextActivateAt(t *testing.T) {
 		t.Fatalf("NextActivateAt after 4 ACTs = %d, want tFAW bound %d", got, want)
 	}
 }
+
+// TestConstraintEpochs pins the invalidation contract of the horizon
+// caches layered on top of this package: every command bumps exactly
+// the epochs whose constraint families it can move — its bank's epoch
+// always, the rank activation epoch only on ACTIVATE (tRRD/tFAW), the
+// channel data epoch only on column accesses (data bus, tWTR, the
+// read-to-write bubble) — and read-only queries bump nothing.
+func TestConstraintEpochs(t *testing.T) {
+	c := testChannel()
+	loc := Location{Channel: 0, Rank: 0, Bank: 1, Row: 7}
+	other := c.Bank(1, 0)
+
+	snap := func() (bank, rank, otherBank, otherRank, data uint32) {
+		return c.Bank(0, 1).Epoch(), c.Ranks[0].ActEpoch(),
+			other.Epoch(), c.Ranks[1].ActEpoch(), c.DataEpoch()
+	}
+
+	// Queries must not disturb any epoch.
+	b0, r0, ob0, or0, d0 := snap()
+	c.CanIssue(0, Command{Kind: CmdActivate, Loc: loc})
+	c.EarliestIssue(Command{Kind: CmdRead, Loc: loc})
+	if b1, r1, ob1, or1, d1 := snap(); b1 != b0 || r1 != r0 || ob1 != ob0 || or1 != or0 || d1 != d0 {
+		t.Fatal("read-only queries moved a constraint epoch")
+	}
+
+	now := c.EarliestIssue(Command{Kind: CmdActivate, Loc: loc})
+	c.Issue(now, Command{Kind: CmdActivate, Loc: loc})
+	b1, r1, ob1, or1, d1 := snap()
+	if b1 != b0+1 || r1 != r0+1 {
+		t.Fatalf("ACTIVATE: bank %d->%d rank %d->%d, want both +1", b0, b1, r0, r1)
+	}
+	if ob1 != ob0 || or1 != or0 || d1 != d0 {
+		t.Fatal("ACTIVATE leaked into another bank/rank or the data epoch")
+	}
+
+	now = c.EarliestIssue(Command{Kind: CmdRead, Loc: loc})
+	c.Issue(now, Command{Kind: CmdRead, Loc: loc})
+	b2, r2, _, _, d2 := snap()
+	if b2 != b1+1 || d2 != d1+1 || r2 != r1 {
+		t.Fatalf("READ: bank %d->%d data %d->%d rank %d->%d, want bank+1 data+1 rank unchanged", b1, b2, d1, d2, r1, r2)
+	}
+
+	now = c.EarliestIssue(Command{Kind: CmdWrite, Loc: loc})
+	c.Issue(now, Command{Kind: CmdWrite, Loc: loc})
+	b3, _, _, _, d3 := snap()
+	if b3 != b2+1 || d3 != d2+1 {
+		t.Fatalf("WRITE: bank %d->%d data %d->%d, want both +1", b2, b3, d2, d3)
+	}
+
+	now = c.EarliestIssue(Command{Kind: CmdPrecharge, Loc: loc})
+	c.Issue(now, Command{Kind: CmdPrecharge, Loc: loc})
+	b4, r4, _, _, d4 := snap()
+	if b4 != b3+1 || d4 != d3 || r4 != r2 {
+		t.Fatalf("PRECHARGE: bank %d->%d data %d->%d rank %d->%d, want bank+1 only", b3, b4, d3, d4, r2, r4)
+	}
+}

@@ -130,6 +130,10 @@ type Controller struct {
 	ch     *dram.Channel
 	policy Policy
 	page   pagepolicy.Policy
+	// pagePure records whether page's ShouldClose is a pure function
+	// of its context (pagepolicy.IsPure); it widens the enqueue fast
+	// path (see noteEnqueue).
+	pagePure bool
 
 	readQ  []*Request
 	writeQ []*Request
@@ -143,7 +147,15 @@ type Controller struct {
 
 	// pendingClose marks banks whose open row the page policy has
 	// decided to precharge once timing allows; indexed rank*banks+bank.
+	// All writes go through setPendingClose so the per-bank horizon
+	// cache and the pendingCloseN count stay coherent.
 	pendingClose []bool
+	// pendingCloseN counts set pendingClose flags. While it is
+	// non-zero an enqueue falls back to a full wake-up tick, which
+	// keeps the page policy's ShouldClose re-validation schedule (a
+	// stateful call for the predictive policies) bit-identical to the
+	// pre-bank-granular engine.
+	pendingCloseN int
 
 	// fastPath enables the event-horizon tick skip; off, Tick runs its
 	// full body every cycle exactly like the original lockstep loop.
@@ -153,8 +165,23 @@ type Controller struct {
 	// pending page-policy close, or a timed policy event). While
 	// now < wakeAt and no in-flight transfer completes, Tick is a
 	// provable no-op and returns immediately. Zero means "unknown —
-	// run the full tick"; it is reset whenever a request is enqueued.
+	// run the full tick". An enqueue into a parked controller usually
+	// lowers it in O(1) (see noteEnqueue) instead of resetting it.
 	wakeAt uint64
+	// parkMode is the queue-selection mode (modeReads/modeWrites/
+	// modeBoth) the horizon fold used when wakeAt was established by
+	// idleHorizon. It is consulted only while wakeAt > now, which
+	// implies it was recorded by the parking tick (the hot path's
+	// wakeAt = now+1 is already <= now by the time anyone looks).
+	parkMode uint8
+
+	// bankQ buckets the queued requests per (rank, bank) so horizon
+	// recomputation after a change touches only the affected bank's
+	// requests instead of rescanning both queues; bankHzn caches each
+	// bank's earliest-issue horizon, revalidated against the dram
+	// constraint epochs. Both are indexed rank*banks+bank.
+	bankQ   []bankQueue
+	bankHzn []bankHorizon
 
 	// scratch buffers reused across cycles to avoid allocation. The
 	// (rank, bank, row) request grouping and the per-bank oldest-ID
@@ -173,6 +200,60 @@ type Controller struct {
 	tenants []TenantStats
 
 	Stats Stats
+}
+
+// Queue-selection modes: which queues the controller offers to the
+// policy. consideredQueues, the horizon fold and the enqueue-time
+// projection all derive the mode from the same rules so the event
+// horizon is always "the first cycle an option appears" for the queue
+// set the next full tick will actually consider.
+const (
+	modeReads uint8 = iota
+	modeWrites
+	modeBoth
+)
+
+// Horizon class bits: the command classes a bank's queued requests
+// need under the current bank state. At most one EarliestIssue call
+// per set bit replaces one call per queued request — requests to the
+// same (rank, bank) needing the same command share one computation.
+const (
+	hznAct uint8 = 1 << iota
+	hznRead
+	hznWrite
+	hznPre
+)
+
+// bankQueue holds the queued requests targeting one (rank, bank),
+// maintained incrementally by the enqueue and remove paths. Bucket
+// order is irrelevant (only class membership is derived from it), so
+// removal swaps with the tail. seq bumps on every membership or
+// pendingClose change and invalidates the bank's cached horizon.
+type bankQueue struct {
+	reads  []*Request
+	writes []*Request
+	seq    uint32
+}
+
+// bankHorizon is one bank's cached earliest-issue horizon: the first
+// cycle any command advancing the bank's queued requests (or its
+// surviving pending close) can become legal, assuming no intervening
+// command. The stamps record the state it was computed from; the
+// entry is exact while they all still match (bank commands bump the
+// bank epoch, rank ACTIVATEs the rank epoch, column accesses the
+// channel data epoch, bucket changes the seq). The command-bus
+// constraint needs no stamp: it never exceeds the parked controller's
+// current cycle, so the fold's now+1 clamp absorbs it (see
+// dram.Channel.DataEpoch).
+type bankHorizon struct {
+	at        uint64
+	mask      uint8
+	mode      uint8
+	valid     bool
+	seq       uint32
+	bankEpoch uint32
+	rankEpoch uint32
+	dataEpoch uint32
 }
 
 // groupTable indexes queued requests by (bankIdx, row), keeping the
@@ -249,10 +330,13 @@ func New(cfg Config, ch *dram.Channel, policy Policy, page pagepolicy.Policy) (*
 		ch:           ch,
 		policy:       policy,
 		page:         page,
+		pagePure:     pagepolicy.IsPure(page),
 		pendingClose: make([]bool, banks),
 		groups:       newGroupTable(cfg.ReadQueueCap + cfg.WriteQueueCap),
 		bankOldest:   make([]uint64, banks),
 		bankEpoch:    make([]uint32, banks),
+		bankQ:        make([]bankQueue, banks),
+		bankHzn:      make([]bankHorizon, banks),
 	}, nil
 }
 
@@ -313,7 +397,10 @@ func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.L
 	}
 	c.nextID++
 	c.readQ = append(c.readQ, r)
-	c.wakeAt = 0
+	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
+	bk.reads = append(bk.reads, r)
+	bk.seq++
+	c.noteEnqueue(r, now)
 	c.policy.OnEnqueue(r, now)
 	return true
 }
@@ -340,7 +427,10 @@ func (c *Controller) EnqueueWrite(now uint64, src Source, addr uint64, loc dram.
 	}
 	c.nextID++
 	c.writeQ = append(c.writeQ, r)
-	c.wakeAt = 0
+	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
+	bk.writes = append(bk.writes, r)
+	bk.seq++
+	c.noteEnqueue(r, now)
 	c.policy.OnEnqueue(r, now)
 	return true
 }
@@ -353,6 +443,114 @@ func (c *Controller) scheduleCompletion(r *Request, at uint64) {
 		i--
 	}
 	c.inflight[i] = completion{at: at, req: r}
+}
+
+// noteEnqueue re-establishes the event horizon after r entered a
+// queue. The legacy engine reset wakeAt to "unknown", forcing a full
+// tick — an O(queued requests + ranks×banks) rescan — even when the
+// new request cannot issue for hundreds of cycles (write-drain
+// shadows, tFAW stalls). A parked controller instead re-arms in O(1):
+// existing requests cannot act before the established horizon, the
+// bank state is frozen while parked, so the only new wake-up
+// candidate is the enqueued request's own next command.
+//
+// The fast path requires three things, otherwise it falls back to the
+// full wake-up exactly as before:
+//   - an established horizon (wakeAt > now; a hot controller ticks
+//     this cycle regardless, so nothing is saved or risked);
+//   - no pending page-policy close whose decision this enqueue could
+//     affect: the full tick after an enqueue re-validates closes via
+//     ShouldClose with the new queue contents. For a pure policy
+//     (pagepolicy.IsPure) only the enqueued bank's context changes, so
+//     only a close pending on that bank forces the fallback; for the
+//     stateful predictive policies every ShouldClose call mutates
+//     predictor state, so any pending close anywhere does;
+//   - an unchanged queue-selection mode: a drain-watermark crossing or
+//     an empty-read-queue transition changes which queues the next
+//     tick considers, invalidating every bank's horizon at once.
+func (c *Controller) noteEnqueue(r *Request, now uint64) {
+	if !c.fastPath || c.wakeAt == 0 || c.wakeAt <= now {
+		c.wakeAt = 0
+		return
+	}
+	if c.pendingCloseN > 0 {
+		if !c.pagePure || c.pendingClose[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank] {
+			c.wakeAt = 0
+			return
+		}
+	}
+	if c.projectedMode() != c.parkMode {
+		c.wakeAt = 0
+		return
+	}
+	if c.requestConsidered(r) {
+		if at := c.earliestFor(r); at < c.wakeAt {
+			// at <= now simply makes NextEvent report "due now"; the
+			// full tick then runs this cycle like the legacy reset.
+			c.wakeAt = at
+		}
+	}
+	// The skipped wake-up tick would have sampled the queues; sample
+	// here so the time-weighted trackers see the length change at the
+	// cycle it happened. A tick this cycle re-sets the same values
+	// (zero-width, no double counting).
+	c.Stats.ReadQ.Set(now, float64(len(c.readQ)))
+	c.Stats.WriteQ.Set(now, float64(len(c.writeQ)))
+}
+
+// projectedMode returns the queue-selection mode the next full tick
+// will use: the drain-mode hysteresis applied to the current queue
+// lengths, without mutating writeMode (the flag itself advances only
+// inside Tick, which sees the same lengths — queue contents cannot
+// change between this projection and that tick without another
+// projection running).
+func (c *Controller) projectedMode() uint8 {
+	return c.modeFor(c.advanceDrainFlag(c.writeMode), considersWrites(c.policy))
+}
+
+// advanceDrainFlag applies the write-drain watermark hysteresis to wm
+// under the current queue lengths, without writing it back. Tick's
+// step 3 commits the result; projectedMode only peeks at it — both
+// must apply the same rule, so it lives here once.
+func (c *Controller) advanceDrainFlag(wm bool) bool {
+	if !wm && len(c.writeQ) >= c.cfg.WriteHi {
+		return true
+	}
+	if wm && len(c.writeQ) <= c.cfg.WriteLo {
+		return false
+	}
+	return wm
+}
+
+// requestConsidered reports whether r's queue is in the set the next
+// tick offers to the policy under the parked mode. A write enqueued
+// while reads are being served (or vice versa) adds no wake-up
+// candidate: it stays invisible to the option builder until the mode
+// changes, and every mode change forces a full wake-up.
+func (c *Controller) requestConsidered(r *Request) bool {
+	switch c.parkMode {
+	case modeBoth:
+		return true
+	case modeWrites:
+		return r.Kind.IsWrite()
+	default:
+		return !r.Kind.IsWrite()
+	}
+}
+
+// setPendingClose writes one pendingClose flag, keeping the count and
+// the bank's horizon cache coherent.
+func (c *Controller) setPendingClose(idx int, v bool) {
+	if c.pendingClose[idx] == v {
+		return
+	}
+	c.pendingClose[idx] = v
+	if v {
+		c.pendingCloseN++
+	} else {
+		c.pendingCloseN--
+	}
+	c.bankQ[idx].seq++
 }
 
 // Tick advances the controller by one cycle: completes finished
@@ -403,11 +601,7 @@ func (c *Controller) Tick(now uint64) {
 	// which see both queues every cycle).
 	mixed := considersWrites(c.policy)
 	if !mixed {
-		if !c.writeMode && len(c.writeQ) >= c.cfg.WriteHi {
-			c.writeMode = true
-		} else if c.writeMode && len(c.writeQ) <= c.cfg.WriteLo {
-			c.writeMode = false
-		}
+		c.writeMode = c.advanceDrainFlag(c.writeMode)
 	}
 
 	// 4. Build the option set and let the policy pick.
@@ -457,40 +651,24 @@ func (c *Controller) Tick(now uint64) {
 // first skipped cycle; because queue contents and bank state are
 // frozen until the next enqueue, completion or wake-up, those
 // validations cannot change during the skipped window.
+//
+// The computation is a fold over per-bank horizons cached in bankHzn:
+// a bank whose bucket, bank state, rank activation window and (for
+// column classes) data-bus state are unchanged since the last fold
+// reuses its cached value, so re-parking after a localized change
+// costs O(changed banks) instead of O(queued requests).
 func (c *Controller) idleHorizon(now uint64) uint64 {
+	mode := c.queueMode(considersWrites(c.policy))
+	c.parkMode = mode
+
 	h := dram.Never
-
-	// Queued requests: same queue selection as buildOptions, so the
-	// wake-up cycle is exactly the first cycle an option appears.
-	primary, secondary := c.consideredQueues(considersWrites(c.policy))
-	for _, r := range primary {
-		if at := c.earliestFor(r); at < h {
-			h = at
+	for b := range c.bankQ {
+		bq := &c.bankQ[b]
+		if len(bq.reads) == 0 && len(bq.writes) == 0 && !c.pendingClose[b] {
+			continue
 		}
-	}
-	for _, r := range secondary {
-		if at := c.earliestFor(r); at < h {
+		if at := c.bankHorizon(b, mode); at < h {
 			h = at
-		}
-	}
-
-	// Surviving pending closes: banks tryPendingClose validated but
-	// could not precharge yet for timing reasons.
-	for rank := 0; rank < c.ch.Geo.Ranks; rank++ {
-		for bank := 0; bank < c.ch.Geo.Banks; bank++ {
-			if !c.pendingClose[rank*c.ch.Geo.Banks+bank] {
-				continue
-			}
-			b := c.ch.Bank(rank, bank)
-			if b.State != dram.BankActive {
-				continue
-			}
-			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: dram.Location{
-				Channel: c.ch.ID, Rank: rank, Bank: bank, Row: b.OpenRow,
-			}}
-			if at := c.ch.EarliestIssue(cmd); at < h {
-				h = at
-			}
 		}
 	}
 
@@ -505,9 +683,98 @@ func (c *Controller) idleHorizon(now uint64) uint64 {
 	return h
 }
 
-// earliestFor returns the earliest cycle the next command advancing r
-// (the same command buildOptions would generate) becomes legal.
-func (c *Controller) earliestFor(r *Request) uint64 {
+// bankHorizon returns the earliest cycle any command advancing bank
+// b's queued requests (under the given queue mode) or its surviving
+// pending close can become legal, from the cache when the stamps
+// still match and recomputed otherwise.
+func (c *Controller) bankHorizon(b int, mode uint8) uint64 {
+	rank := b / c.ch.Geo.Banks
+	bankNo := b % c.ch.Geo.Banks
+	bq := &c.bankQ[b]
+	bank := c.ch.Bank(rank, bankNo)
+	hz := &c.bankHzn[b]
+	if hz.valid && hz.mode == mode && hz.seq == bq.seq &&
+		hz.bankEpoch == bank.Epoch() &&
+		(hz.mask&hznAct == 0 || hz.rankEpoch == c.ch.Ranks[rank].ActEpoch()) &&
+		(hz.mask&(hznRead|hznWrite) == 0 || hz.dataEpoch == c.ch.DataEpoch()) {
+		return hz.at
+	}
+
+	// Recompute: classify the bucket into command classes relative to
+	// the current bank state (the per-(rank, bank, kind) dedupe — one
+	// EarliestIssue per class, not one per request), then take the
+	// earliest legal cycle over the classes present.
+	useReads := mode != modeWrites
+	useWrites := mode != modeReads
+	var mask uint8
+	if bank.State == dram.BankIdle {
+		if (useReads && len(bq.reads) > 0) || (useWrites && len(bq.writes) > 0) {
+			mask |= hznAct
+		}
+	} else {
+		if useReads {
+			for _, r := range bq.reads {
+				if r.Loc.Row == bank.OpenRow {
+					mask |= hznRead
+				} else {
+					mask |= hznPre
+				}
+			}
+		}
+		if useWrites {
+			for _, r := range bq.writes {
+				if r.Loc.Row == bank.OpenRow {
+					mask |= hznWrite
+				} else {
+					mask |= hznPre
+				}
+			}
+		}
+		if c.pendingClose[b] {
+			mask |= hznPre
+		}
+	}
+
+	loc := dram.Location{Channel: c.ch.ID, Rank: rank, Bank: bankNo, Row: bank.OpenRow}
+	at := dram.Never
+	if mask&hznAct != 0 {
+		if e := c.ch.EarliestIssue(dram.Command{Kind: dram.CmdActivate, Loc: loc}); e < at {
+			at = e
+		}
+	}
+	if mask&hznRead != 0 {
+		if e := c.ch.EarliestIssue(dram.Command{Kind: dram.CmdRead, Loc: loc}); e < at {
+			at = e
+		}
+	}
+	if mask&hznWrite != 0 {
+		if e := c.ch.EarliestIssue(dram.Command{Kind: dram.CmdWrite, Loc: loc}); e < at {
+			at = e
+		}
+	}
+	if mask&hznPre != 0 {
+		if e := c.ch.EarliestIssue(dram.Command{Kind: dram.CmdPrecharge, Loc: loc}); e < at {
+			at = e
+		}
+	}
+
+	*hz = bankHorizon{
+		at:        at,
+		mask:      mask,
+		mode:      mode,
+		valid:     true,
+		seq:       bq.seq,
+		bankEpoch: bank.Epoch(),
+		rankEpoch: c.ch.Ranks[rank].ActEpoch(),
+		dataEpoch: c.ch.DataEpoch(),
+	}
+	return at
+}
+
+// commandFor returns the next command advancing r — the same command
+// buildOptions would generate for r's group given the current bank
+// state.
+func (c *Controller) commandFor(r *Request) dram.Command {
 	bank := c.ch.Bank(r.Loc.Rank, r.Loc.Bank)
 	var kind dram.CommandKind
 	switch {
@@ -521,7 +788,13 @@ func (c *Controller) earliestFor(r *Request) uint64 {
 	default:
 		kind = dram.CmdPrecharge
 	}
-	return c.ch.EarliestIssue(dram.Command{Kind: kind, Loc: r.Loc})
+	return dram.Command{Kind: kind, Loc: r.Loc}
+}
+
+// earliestFor returns the earliest cycle the next command advancing r
+// becomes legal.
+func (c *Controller) earliestFor(r *Request) uint64 {
+	return c.ch.EarliestIssue(c.commandFor(r))
 }
 
 // NextEvent reports the earliest cycle >= now at which this controller
@@ -544,29 +817,53 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 
 // effectiveWriteMode reports whether the controller serves writes this
 // cycle: either drain mode, or opportunistically when no reads wait.
+// Defined on modeFor so the rule cannot drift from the horizon's
+// queue selection.
 func (c *Controller) effectiveWriteMode() bool {
-	return c.writeMode || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+	return c.modeFor(c.writeMode, false) == modeWrites
 }
 
-// consideredQueues returns the queues whose requests the controller
-// offers to the policy this cycle. buildOptions and idleHorizon must
-// share this selection: the event horizon is "the first cycle an
-// option appears", so deriving it from a different queue set than the
-// option builder would make the controller wake from the wrong queues.
-func (c *Controller) consideredQueues(mixed bool) (primary, secondary []*Request) {
+// modeFor derives the queue-selection mode from a drain flag and the
+// current queue lengths. It is the single source of the selection
+// rules: buildOptions/idleHorizon (via queueMode, with the current
+// writeMode flag) and the enqueue-time projection (via projectedMode,
+// with the hysteresis-advanced flag) must agree by construction — the
+// event horizon is "the first cycle an option appears", so deriving
+// it from a different queue set than the option builder would make
+// the controller wake from the wrong queues.
+func (c *Controller) modeFor(wm, mixed bool) uint8 {
 	if mixed {
 		// Safety valve: when the write queue is nearly full, offer
 		// only write-advancing options so the policy cannot wedge the
 		// cache hierarchy.
 		if len(c.writeQ) >= c.cfg.WriteQueueCap-4 {
-			return c.writeQ, nil
+			return modeWrites
 		}
-		return c.readQ, c.writeQ
+		return modeBoth
 	}
-	if c.effectiveWriteMode() {
+	// Drain mode, or opportunistic writes when no reads wait.
+	if wm || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		return modeWrites
+	}
+	return modeReads
+}
+
+// queueMode is the mode this tick's option builder uses.
+func (c *Controller) queueMode(mixed bool) uint8 {
+	return c.modeFor(c.writeMode, mixed)
+}
+
+// consideredQueues returns the queues whose requests the controller
+// offers to the policy this cycle.
+func (c *Controller) consideredQueues(mixed bool) (primary, secondary []*Request) {
+	switch c.queueMode(mixed) {
+	case modeWrites:
 		return c.writeQ, nil
+	case modeBoth:
+		return c.readQ, c.writeQ
+	default:
+		return c.readQ, nil
 	}
-	return c.readQ, nil
 }
 
 // buildOptions computes the set of legal commands for this cycle into
@@ -662,7 +959,7 @@ func (c *Controller) issue(now uint64, opt Option) {
 	case dram.CmdActivate:
 		c.ch.Issue(now, opt.Cmd)
 		opt.Req.triggeredActivate = true
-		c.pendingClose[bankIdx] = false
+		c.setPendingClose(bankIdx, false)
 		c.page.OnActivate(loc)
 	case dram.CmdPrecharge:
 		bank := c.ch.Bank(loc.Rank, loc.Bank)
@@ -670,7 +967,7 @@ func (c *Controller) issue(now uint64, opt Option) {
 		accesses := bank.RowAccesses()
 		c.ch.Issue(now, opt.Cmd)
 		opt.Req.triggeredConflict = true
-		c.pendingClose[bankIdx] = false
+		c.setPendingClose(bankIdx, false)
 		c.Stats.ConflictCloses++
 		c.page.OnRowClosed(closed, accesses, true)
 	case dram.CmdRead, dram.CmdWrite:
@@ -686,7 +983,7 @@ func (c *Controller) issue(now uint64, opt Option) {
 			PendingSameRow:  same,
 			PendingOtherRow: other,
 		}
-		c.pendingClose[bankIdx] = c.page.ShouldClose(ctx)
+		c.setPendingClose(bankIdx, c.page.ShouldClose(ctx))
 	default:
 		panic(fmt.Sprintf("memctrl: cannot issue %v", opt.Cmd))
 	}
@@ -779,7 +1076,7 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 			}
 			b := c.ch.Bank(rank, bank)
 			if b.State != dram.BankActive {
-				c.pendingClose[idx] = false
+				c.setPendingClose(idx, false)
 				continue
 			}
 			loc := dram.Location{Channel: c.ch.ID, Rank: rank, Bank: bank, Row: b.OpenRow}
@@ -791,7 +1088,7 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 				PendingOtherRow: other,
 			}
 			if !c.page.ShouldClose(ctx) {
-				c.pendingClose[idx] = false
+				c.setPendingClose(idx, false)
 				continue
 			}
 			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: loc}
@@ -800,7 +1097,7 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 			}
 			accesses := b.RowAccesses()
 			c.ch.Issue(now, cmd)
-			c.pendingClose[idx] = false
+			c.setPendingClose(idx, false)
 			c.Stats.PolicyCloses++
 			c.page.OnRowClosed(loc, accesses, false)
 			return cmd, true
@@ -809,11 +1106,28 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 	return dram.Command{Kind: dram.CmdNop}, false
 }
 
-// removeRequest deletes r from whichever queue holds it.
+// removeRequest deletes r from whichever queue holds it and from its
+// bank bucket.
 func (c *Controller) removeRequest(r *Request) {
-	q := &c.readQ
+	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
+	q, bq := &c.readQ, &bk.reads
 	if r.Kind.IsWrite() {
-		q = &c.writeQ
+		q, bq = &c.writeQ, &bk.writes
+	}
+	bk.seq++
+	inBucket := false
+	for i, x := range *bq {
+		if x == r {
+			last := len(*bq) - 1
+			(*bq)[i] = (*bq)[last]
+			(*bq)[last] = nil
+			*bq = (*bq)[:last]
+			inBucket = true
+			break
+		}
+	}
+	if !inBucket {
+		panic("memctrl: removing request not in its bank bucket")
 	}
 	for i, x := range *q {
 		if x == r {

@@ -96,6 +96,13 @@ type Policy interface {
 // must observe the clock even if the controller is otherwise inert;
 // the fast-forward engine never skips past it. Policies without timed
 // state need not implement the interface.
+//
+// Contract: OnEnqueue must not move NextPolicyEvent earlier. An
+// enqueue into a parked controller re-arms the established horizon in
+// O(1) from the new request's own command and does not re-read the
+// policy event until the next full tick; a policy that advanced its
+// event inside OnEnqueue could therefore be woken late. (All shipped
+// policies keep OnEnqueue stateless; sched's horizon tests pin this.)
 type EventHorizon interface {
 	NextPolicyEvent(now uint64) uint64
 }

@@ -1,0 +1,110 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"cloudmc/internal/dram"
+)
+
+// This file is diagnostic/test support for the event-horizon machinery:
+// a brute-force, cycle-by-cycle re-derivation of "when could this
+// parked controller act" from the raw legality rules, independent of
+// the per-bank horizon cache and of dram.Channel.EarliestIssue. The
+// exactness property suites (memctrl horizon tests and the core
+// kernel differential tests) call it whenever a controller parks or
+// re-arms; production code never does.
+
+// ParkHorizon returns the controller's established event horizon: the
+// earliest future cycle at which its state can change, or 0 when the
+// horizon is unknown and the next tick runs in full. In-flight
+// completions are not part of it (NextEvent folds those in).
+func (c *Controller) ParkHorizon() uint64 { return c.wakeAt }
+
+// VerifyParkHorizon checks that the event horizon established at
+// cycle now is exact, by replaying the parked window cycle by cycle
+// against dram.Channel.CanIssue:
+//
+//   - never late: no queued request's next command, no surviving
+//     pending close and no policy event becomes actionable strictly
+//     before wakeAt;
+//   - never early: at wakeAt itself something is actionable (unless
+//     the horizon is Never or was clamped to now+1, where there is no
+//     skipped window to verify).
+//
+// The scan is capped at maxScan cycles past now; a horizon further
+// out than the cap is only checked for lateness within the cap. The
+// check is pure — no controller, policy or device state is mutated —
+// so tests can call it at every park without perturbing the replay.
+func (c *Controller) VerifyParkHorizon(now uint64, maxScan uint64) error {
+	if !c.fastPath || c.wakeAt == 0 || c.wakeAt <= now+1 {
+		return nil // hot or unknown: no skipped window
+	}
+
+	// actionable reports whether any option (or surviving pending
+	// close) would be legal at cycle t, from the same queue selection
+	// the parking fold used and the same per-request commands
+	// buildOptions would generate. Bank and queue state are frozen
+	// while parked, so evaluating the predicate at future t against
+	// current state is exactly what the per-cycle loop would see.
+	actionable := func(t uint64) bool {
+		check := func(q []*Request) bool {
+			for _, r := range q {
+				if c.ch.CanIssue(t, c.commandFor(r)) {
+					return true
+				}
+			}
+			return false
+		}
+		if c.parkMode != modeWrites && check(c.readQ) {
+			return true
+		}
+		if c.parkMode != modeReads && check(c.writeQ) {
+			return true
+		}
+		for b, pending := range c.pendingClose {
+			if !pending {
+				continue
+			}
+			rank := b / c.ch.Geo.Banks
+			bankNo := b % c.ch.Geo.Banks
+			bank := c.ch.Bank(rank, bankNo)
+			if bank.State != dram.BankActive {
+				continue
+			}
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: dram.Location{
+				Channel: c.ch.ID, Rank: rank, Bank: bankNo, Row: bank.OpenRow,
+			}}
+			if c.ch.CanIssue(t, cmd) {
+				return true
+			}
+		}
+		return false
+	}
+
+	policyEvent := uint64(dram.Never)
+	if eh, ok := c.policy.(EventHorizon); ok {
+		policyEvent = eh.NextPolicyEvent(now)
+	}
+
+	limit := c.wakeAt
+	capped := false
+	if maxScan > 0 && limit-now > maxScan {
+		limit = now + maxScan
+		capped = true
+	}
+	for t := now + 1; t < limit; t++ {
+		if actionable(t) {
+			return fmt.Errorf("memctrl: late horizon: actionable at cycle %d but parked until %d (established at %d)", t, c.wakeAt, now)
+		}
+		if policyEvent <= t {
+			return fmt.Errorf("memctrl: late horizon: policy event at %d but parked until %d (established at %d)", policyEvent, c.wakeAt, now)
+		}
+	}
+	if capped || c.wakeAt == dram.Never {
+		return nil
+	}
+	if !actionable(c.wakeAt) && policyEvent != c.wakeAt {
+		return fmt.Errorf("memctrl: early horizon: nothing actionable at wake cycle %d (established at %d)", c.wakeAt, now)
+	}
+	return nil
+}

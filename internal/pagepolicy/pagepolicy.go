@@ -43,6 +43,19 @@ type Policy interface {
 	OnRowClosed(loc dram.Location, accesses int, conflict bool)
 }
 
+// PureClose marks page policies whose ShouldClose is a pure function
+// of its CloseContext: the call neither reads mutable internal state
+// nor mutates any. The static and adaptive policies qualify; the
+// predictive RBPP/ABPP do not (their lookup touches predictor
+// LRU/clock state on every call). The memory controller uses the
+// marker to skip re-validating pending closes on cycles where their
+// context is provably unchanged — for a pure policy the skipped calls
+// are invisible, for a stateful one every call matters.
+type PureClose interface{ pureShouldClose() }
+
+// IsPure reports whether p's ShouldClose is pure (see PureClose).
+func IsPure(p Policy) bool { _, ok := p.(PureClose); return ok }
+
 // Open is the static open-page policy (OPM): rows stay open until a
 // conflicting request forces a precharge.
 type Open struct{}
@@ -62,6 +75,8 @@ func (Open) OnActivate(dram.Location) {}
 // OnRowClosed implements Policy.
 func (Open) OnRowClosed(dram.Location, int, bool) {}
 
+func (Open) pureShouldClose() {}
+
 // Close is the static close-page policy (CPM): every row is precharged
 // immediately after its column access.
 type Close struct{}
@@ -80,6 +95,8 @@ func (Close) OnActivate(dram.Location) {}
 
 // OnRowClosed implements Policy.
 func (Close) OnRowClosed(dram.Location, int, bool) {}
+
+func (Close) pureShouldClose() {}
 
 // OpenAdaptive is the paper's baseline OAPM: close only when no queued
 // request would hit the open row AND some queued request needs a
@@ -103,6 +120,8 @@ func (OpenAdaptive) OnActivate(dram.Location) {}
 // OnRowClosed implements Policy.
 func (OpenAdaptive) OnRowClosed(dram.Location, int, bool) {}
 
+func (OpenAdaptive) pureShouldClose() {}
+
 // CloseAdaptive is CAPM: close as soon as no queued request would hit
 // the open row, whether or not other work is waiting.
 type CloseAdaptive struct{}
@@ -123,3 +142,5 @@ func (CloseAdaptive) OnActivate(dram.Location) {}
 
 // OnRowClosed implements Policy.
 func (CloseAdaptive) OnRowClosed(dram.Location, int, bool) {}
+
+func (CloseAdaptive) pureShouldClose() {}
