@@ -12,6 +12,7 @@ package addrmap
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"cloudmc/internal/dram"
 )
@@ -51,14 +52,20 @@ func (s Scheme) String() string {
 }
 
 // ParseScheme converts a scheme name (as printed by String) back to a
-// Scheme value.
+// Scheme value. Matching and the valid-name error text walk Schemes in
+// declaration order, never the schemeNames map, so the error message
+// is identical from run to run.
 func ParseScheme(name string) (Scheme, error) {
-	for s, n := range schemeNames {
-		if n == name {
+	for _, s := range Schemes {
+		if schemeNames[s] == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("addrmap: unknown scheme %q", name)
+	valid := make([]string, 0, len(Schemes))
+	for _, s := range Schemes {
+		valid = append(valid, schemeNames[s])
+	}
+	return 0, fmt.Errorf("addrmap: unknown scheme %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 // field identifies one DRAM coordinate.

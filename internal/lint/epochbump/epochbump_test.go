@@ -1,0 +1,12 @@
+package epochbump_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/epochbump"
+)
+
+func TestEpochbump(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("dram"), epochbump.Analyzer)
+}

@@ -1,0 +1,120 @@
+// Package dram is the epochbump analyzer fixture: a miniature of the
+// real cloudmc/internal/dram types (same names, same guarded fields)
+// with mutators that bump their epoch, mutators that forget, and
+// fields outside the contract.
+package dram
+
+// BankState mirrors the real coarse bank state.
+type BankState uint8
+
+// Bank mirrors the guarded bank fields: State, OpenRow and the three
+// allowed-at thresholds must bump epoch.
+type Bank struct {
+	State   BankState
+	OpenRow int
+
+	epoch uint32
+
+	actAllowedAt uint64
+	colAllowedAt uint64
+	preAllowedAt uint64
+
+	rowAccesses int
+}
+
+// activateGood bumps the epoch alongside its mutations.
+func (b *Bank) activateGood(now uint64, row int) {
+	b.epoch++
+	b.State = 1
+	b.OpenRow = row
+	b.colAllowedAt = now + 4
+	b.preAllowedAt = now + 15
+}
+
+// activateBad mutates timing state without bumping the epoch.
+func (b *Bank) activateBad(now uint64, row int) {
+	b.State = 1 // want `activateBad mutates Bank.State but never bumps Bank.epoch`
+	b.OpenRow = row
+	b.actAllowedAt = now + 20
+}
+
+// countOnly touches a field outside the contract: silent.
+func (b *Bank) countOnly() {
+	b.rowAccesses++
+}
+
+// Rank mirrors the guarded rank ACT-window fields.
+type Rank struct {
+	Banks []Bank
+
+	lastActAt   uint64
+	anyActivate bool
+	actTimes    [4]uint64
+	actCount    int
+
+	actEpoch uint32
+}
+
+// recordGood bumps actEpoch, including through the indexed actTimes
+// write.
+func (r *Rank) recordGood(now uint64) {
+	r.actEpoch++
+	r.lastActAt = now
+	r.anyActivate = true
+	r.actTimes[r.actCount%4] = now
+	r.actCount++
+}
+
+// recordBad forgets the bump.
+func (r *Rank) recordBad(now uint64) {
+	r.lastActAt = now // want `recordBad mutates Rank.lastActAt but never bumps Rank.actEpoch`
+	r.anyActivate = true
+}
+
+// mixed bumps Rank's epoch but not Bank's: only the Bank mutation is
+// flagged.
+func (r *Rank) mixed(b *Bank, now uint64) {
+	r.actEpoch++
+	r.lastActAt = now
+	b.State = 0 // want `mixed mutates Bank.State but never bumps Bank.epoch`
+}
+
+// Channel mirrors the guarded data-bus fields; the command-bus fields
+// (lastCmdAt, anyCmd) are deliberately outside the contract.
+type Channel struct {
+	lastCmdAt uint64
+	anyCmd    bool
+
+	dataFreeAt       uint64
+	lastWriteDataEnd uint64
+	lastReadDataEnd  uint64
+
+	dataEpoch uint32
+}
+
+// readGood bumps dataEpoch.
+func (c *Channel) readGood(end uint64) {
+	c.dataEpoch++
+	c.dataFreeAt = end
+	c.lastReadDataEnd = end
+}
+
+// writeBad forgets it.
+func (c *Channel) writeBad(end uint64) {
+	c.dataFreeAt = end // want `writeBad mutates Channel.dataFreeAt but never bumps Channel.dataEpoch`
+	c.lastWriteDataEnd = end
+}
+
+// commandBus touches only untracked fields: silent.
+func (c *Channel) commandBus(now uint64) {
+	c.lastCmdAt = now
+	c.anyCmd = true
+}
+
+// resetJustified demonstrates the escape hatch on a declaration.
+//
+//mclint:allow epochbump -- fixture: caller re-stamps every cache entry
+func (b *Bank) resetJustified() {
+	b.actAllowedAt = 0
+	b.colAllowedAt = 0
+}

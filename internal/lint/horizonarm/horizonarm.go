@@ -1,0 +1,227 @@
+// Package horizonarm guards the event-kernel arming contract of
+// cloudmc/internal/core and cloudmc/internal/memctrl: any exported
+// entry point that can move a controller's NextEvent/EarliestIssue
+// horizon earlier must re-arm the kernel wake-up queue somewhere in
+// its (intra-package, transitive) call path — otherwise a parked
+// source sleeps through work that just became due and the kernel
+// diverges from the naive per-cycle loop.
+//
+// The obligations are keyed to the mutations that can create earlier
+// work, and the arming primitives that discharge them:
+//
+//	internal/core:    a call to Controller.EnqueueRead/EnqueueWrite
+//	                  requires notifyCtrl in the call path; an insert
+//	                  into the fill queue (s.fillq) requires armFill.
+//	internal/memctrl: a mutation of the request queues (readQ/writeQ)
+//	                  requires noteEnqueue or a wakeAt write (resetting
+//	                  the horizon to "unknown" forces a full tick).
+//
+// The analysis is a reachability closure over the package's static
+// call graph (function literals count as part of their enclosing
+// declaration), checked per exported function: an entry point whose
+// closure contains an obligation but none of its arming primitives is
+// flagged. Unexported helpers are deliberately exempt — stepKernel
+// pops the fill queue and re-arms in its caller — because the
+// contract binds the boundaries other packages can call into.
+package horizonarm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cloudmc/internal/lint/analysis"
+)
+
+// Analyzer is the horizonarm wake-up arming check.
+var Analyzer = &analysis.Analyzer{
+	Name: "horizonarm",
+	Doc: "requires exported entry points of cloudmc/internal/core and cloudmc/internal/memctrl " +
+		"that can move a controller horizon earlier to re-arm the kernel wake-up queue " +
+		"(notifyCtrl/armFill/noteEnqueue in the call path)",
+	Run: run,
+}
+
+// funcFacts is what one function body contributes to the closure.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	// callees are same-package functions this body statically calls.
+	callees []*types.Func
+
+	callsEnqueue  bool // call to a method named EnqueueRead/EnqueueWrite
+	mutatesFillq  bool // assignment through a selector named fillq
+	callsNotify   bool // call to notifyCtrl
+	callsArmFill  bool // call to armFill
+	mutatesQueues bool // assignment through a selector named readQ/writeQ
+	callsNote     bool // call to noteEnqueue
+	setsWakeAt    bool // assignment through a selector named wakeAt
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.EffectivePath()
+	isCore := path == "cloudmc/internal/core"
+	isMemctrl := path == "cloudmc/internal/memctrl"
+	if !isCore && !isMemctrl {
+		return nil
+	}
+
+	facts := make(map[*types.Func]*funcFacts)
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts[obj] = collect(pass, fd)
+			order = append(order, obj)
+		}
+	}
+
+	for _, obj := range order {
+		ff := facts[obj]
+		if !obj.Exported() {
+			continue
+		}
+		cl := closure(obj, facts)
+		if pass.Suppressed(ff.decl, "allow horizonarm") {
+			continue
+		}
+		if isCore {
+			if cl.callsEnqueue && !cl.callsNotify {
+				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s reaches Controller.EnqueueRead/EnqueueWrite "+
+					"but never re-arms the kernel wake-up queue (notifyCtrl missing from its call path)", obj.Name())
+			}
+			if cl.mutatesFillq && !cl.callsArmFill {
+				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s mutates the fill queue "+
+					"but never re-arms the fill source (armFill missing from its call path)", obj.Name())
+			}
+		}
+		if isMemctrl {
+			if cl.mutatesQueues && !(cl.callsNote || cl.setsWakeAt) {
+				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s mutates the request queues "+
+					"but never re-establishes the event horizon (neither noteEnqueue nor a wakeAt write "+
+					"in its call path)", obj.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// collect walks one function body (including its function literals)
+// and records its direct facts.
+func collect(pass *analysis.Pass, fd *ast.FuncDecl) *funcFacts {
+	ff := &funcFacts{decl: fd}
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			name, callee := calleeOf(pass, s)
+			switch name {
+			case "EnqueueRead", "EnqueueWrite":
+				ff.callsEnqueue = true
+			case "notifyCtrl":
+				ff.callsNotify = true
+			case "armFill":
+				ff.callsArmFill = true
+			case "noteEnqueue":
+				ff.callsNote = true
+			}
+			if callee != nil && callee.Pkg() == pass.Pkg && !seen[callee] {
+				seen[callee] = true
+				ff.callees = append(ff.callees, callee)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				noteTarget(ff, lhs)
+			}
+		case *ast.IncDecStmt:
+			noteTarget(ff, s.X)
+		}
+		return true
+	})
+	return ff
+}
+
+// noteTarget classifies an assignment target by the field it reaches
+// through (unwrapping indexing and dereference).
+func noteTarget(ff *funcFacts, expr ast.Expr) {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "fillq":
+		ff.mutatesFillq = true
+	case "readQ", "writeQ":
+		ff.mutatesQueues = true
+	case "wakeAt":
+		ff.setsWakeAt = true
+	}
+}
+
+// calleeOf resolves a call expression to (method/function name, callee
+// object if statically known).
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) (string, *types.Func) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fun.Name, fn
+		}
+		return fun.Name, nil
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fun.Sel.Name, fn
+		}
+		return fun.Sel.Name, nil
+	}
+	return "", nil
+}
+
+// closure folds facts over the transitive same-package call graph of
+// root. Missing bodies (declarations satisfied in assembly, interface
+// methods) contribute nothing.
+func closure(root *types.Func, facts map[*types.Func]*funcFacts) funcFacts {
+	var out funcFacts
+	visited := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		ff, ok := facts[fn]
+		if !ok {
+			return
+		}
+		out.callsEnqueue = out.callsEnqueue || ff.callsEnqueue
+		out.mutatesFillq = out.mutatesFillq || ff.mutatesFillq
+		out.callsNotify = out.callsNotify || ff.callsNotify
+		out.callsArmFill = out.callsArmFill || ff.callsArmFill
+		out.mutatesQueues = out.mutatesQueues || ff.mutatesQueues
+		out.callsNote = out.callsNote || ff.callsNote
+		out.setsWakeAt = out.setsWakeAt || ff.setsWakeAt
+		for _, c := range ff.callees {
+			visit(c)
+		}
+	}
+	visit(root)
+	return out
+}

@@ -1,0 +1,16 @@
+package horizonarm_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/horizonarm"
+)
+
+func TestCoreRules(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("core"), horizonarm.Analyzer)
+}
+
+func TestMemctrlRules(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("memctrl"), horizonarm.Analyzer)
+}

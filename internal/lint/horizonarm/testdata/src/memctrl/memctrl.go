@@ -1,0 +1,43 @@
+// Package memctrl is the horizonarm fixture for the internal/memctrl
+// rules: exported entry points mutating the request queues need
+// noteEnqueue or a wakeAt write in their call path.
+package memctrl
+
+// Request stands in for memctrl.Request.
+type Request struct{ ID uint64 }
+
+// Controller stands in for memctrl.Controller.
+type Controller struct {
+	readQ  []*Request
+	writeQ []*Request
+	wakeAt uint64
+}
+
+func (c *Controller) noteEnqueue(r *Request) {}
+
+// EnqueueGood re-establishes the horizon via noteEnqueue.
+func (c *Controller) EnqueueGood(r *Request) {
+	c.readQ = append(c.readQ, r)
+	c.noteEnqueue(r)
+}
+
+// EnqueueBad grows a queue and leaves the horizon stale.
+func (c *Controller) EnqueueBad(r *Request) { // want `EnqueueBad mutates the request queues but never re-establishes the event horizon`
+	c.writeQ = append(c.writeQ, r)
+}
+
+// TickGood mutates through a helper and resets wakeAt, which forces a
+// full tick — the other legal discharge.
+func (c *Controller) TickGood(now uint64) {
+	c.removeHead()
+	c.wakeAt = now + 1
+}
+
+func (c *Controller) removeHead() {
+	if len(c.readQ) > 0 {
+		c.readQ = c.readQ[1:]
+	}
+}
+
+// Peek is read-only: no obligation.
+func (c *Controller) Peek() int { return len(c.readQ) }

@@ -1,0 +1,19 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("mrange"), maprange.Analyzer)
+}
+
+// TestOutOfScope checks the analyzer stays silent outside
+// cloudmc/internal/ — the fixture has a bare map range and no want
+// comments.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/noscope", maprange.Analyzer)
+}

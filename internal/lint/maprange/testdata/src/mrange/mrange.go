@@ -1,0 +1,67 @@
+// Package mrange is the maprange analyzer fixture: firing cases, the
+// sort-sink exemption, the order-insensitive directive, and non-map
+// ranges that must stay silent.
+package mrange
+
+import "sort"
+
+// unsortedKeys leaks map iteration order into its result: flagged.
+func unsortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys feeds the collect-then-sort idiom: the sort.* call
+// immediately after the loop makes the order observable-free.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count carries the justification directive: a pure count is invariant
+// under iteration order.
+func count(m map[string]int) int {
+	n := 0
+	//mclint:order-insensitive -- pure count, no order-dependent effect
+	for range m {
+		n++
+	}
+	return n
+}
+
+// trailing uses the same-line directive placement.
+func trailing(m map[string]int) int {
+	n := 0
+	for _, v := range m { //mclint:order-insensitive -- sum is commutative
+		n += v
+	}
+	return n
+}
+
+// sliceRange must stay silent: slices iterate in index order.
+func sliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// nested maps inside switch bodies are still found.
+func nested(mode int, m map[int]int) []int {
+	var out []int
+	switch mode {
+	case 0:
+		for k := range m { // want `range over map has nondeterministic iteration order`
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("ndet"), nodeterm.Analyzer)
+}

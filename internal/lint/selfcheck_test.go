@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmc/internal/lint"
+)
+
+// TestModuleIsLintClean runs the full mclint suite over the whole
+// module and asserts zero diagnostics. A new violation anywhere in the
+// tree fails plain `go test ./...` locally, not just the CI lint job.
+func TestModuleIsLintClean(t *testing.T) {
+	findings, err := lint.Run("../..", "./...")
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(findings) > 0 {
+		var got []string
+		for _, f := range findings {
+			got = append(got, f.String())
+		}
+		t.Errorf("module is not mclint-clean (%d finding(s)):\n%s",
+			len(findings), strings.Join(got, "\n"))
+	}
+}

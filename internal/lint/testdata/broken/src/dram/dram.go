@@ -1,0 +1,22 @@
+// Package dram is a deliberately-broken fixture: the CI smoke step
+// runs mclint over it and asserts epochbump fires. It must compile;
+// it must NOT be fixed.
+package dram
+
+// Bank carries one guarded field and its epoch.
+type Bank struct {
+	State uint8
+	epoch uint32
+}
+
+// Precharge mutates Bank.State without bumping the epoch: epochbump
+// must flag this.
+func (b *Bank) Precharge() {
+	b.State = 0
+}
+
+// Activate is here so the epoch field is not otherwise unused.
+func (b *Bank) Activate() {
+	b.epoch++
+	b.State = 1
+}

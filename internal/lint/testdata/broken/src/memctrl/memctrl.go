@@ -1,0 +1,27 @@
+// Package memctrl is a deliberately-broken fixture: the CI smoke step
+// runs mclint over it and asserts horizonarm fires. It must compile;
+// it must NOT be fixed.
+package memctrl
+
+// Request is a minimal request.
+type Request struct{ Addr uint64 }
+
+// Controller carries the queues and the horizon the linter guards.
+type Controller struct {
+	readQ  []*Request
+	wakeAt uint64
+}
+
+func (c *Controller) noteEnqueue(r *Request) { c.wakeAt = 0 }
+
+// Enqueue grows readQ and never calls noteEnqueue or touches wakeAt:
+// horizonarm must flag this.
+func (c *Controller) Enqueue(r *Request) {
+	c.readQ = append(c.readQ, r)
+}
+
+// EnqueueArmed keeps noteEnqueue reachable so it is not dead code.
+func (c *Controller) EnqueueArmed(r *Request) {
+	c.readQ = append(c.readQ, r)
+	c.noteEnqueue(r)
+}

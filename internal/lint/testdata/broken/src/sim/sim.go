@@ -1,0 +1,25 @@
+// Package sim is a deliberately-broken fixture: the CI smoke step
+// runs mclint over it and asserts maprange and nodeterm fire. It must
+// compile; it must NOT be fixed.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tally ranges over a map with an order-dependent sink (append):
+// maprange must flag this.
+func Tally(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Jitter uses the global math/rand and wall-clock time: nodeterm must
+// flag both calls.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(16))
+}

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"os"
 
 	"cloudmc/internal/dram"
 	"cloudmc/internal/memctrl"
@@ -107,8 +106,11 @@ func (t *ServiceTracker) Tick(now uint64) {
 	}
 }
 
-// debugATLAS enables rank tracing for development.
-var debugATLAS = os.Getenv("ATLAS_DEBUG") != ""
+// debugATLAS enables rank tracing for development. It is a
+// compile-time switch rather than an environment lookup: an env var
+// would make simulation behavior depend on host state, which the
+// nodeterm invariant forbids in simulation packages.
+const debugATLAS = false
 
 // NextBoundary returns the cycle at which the next quantum rollover
 // fires (the earliest now for which Tick re-ranks).

@@ -98,6 +98,7 @@ func (p *PARBSPolicy) formBatch(v *memctrl.View) {
 	jobs := make([]coreJob, 0, p.cores+1)
 	for slot, l := range loads {
 		j := coreJob{slot: slot}
+		//mclint:order-insensitive -- max and sum over the values; both reductions are commutative
 		for _, n := range l {
 			j.total += n
 			if n > j.maxLoad {

@@ -59,17 +59,24 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// allKinds lists every parseable algorithm in declaration order: the
+// paper's figure order (Kinds) plus QoS. Matching and the valid-name
+// error text both walk this list, never the kindNames map, so
+// ParseKind's behavior — in particular its error message — is
+// identical from run to run.
+var allKinds = append(append([]Kind{}, Kinds...), QoS)
+
 // ParseKind converts an algorithm name (as printed by String) back to
 // its Kind, case-insensitively. Unknown names produce an error that
 // lists every valid name, so a typo in a CLI flag is self-explaining.
 func ParseKind(name string) (Kind, error) {
-	for k, n := range kindNames {
-		if strings.EqualFold(n, name) {
+	for _, k := range allKinds {
+		if strings.EqualFold(kindNames[k], name) {
 			return k, nil
 		}
 	}
-	valid := make([]string, 0, len(kindNames))
-	for _, k := range append(append([]Kind{}, Kinds...), QoS) {
+	valid := make([]string, 0, len(allKinds))
+	for _, k := range allKinds {
 		valid = append(valid, kindNames[k])
 	}
 	return 0, fmt.Errorf("sched: unknown scheduling algorithm %q (valid: %s)", name, strings.Join(valid, ", "))
