@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate obs output files against the documented schemas.
+
+CI smoke runs the CLIs with -obs/-obs-csv/-trace and feeds the outputs
+here; a drift between what internal/obs emits and what README.md
+documents fails the build instead of silently breaking downstream
+tooling.
+
+Usage: validate_obs.py [--jsonl FILE] [--csv FILE] [--trace FILE]
+"""
+
+import argparse
+import json
+import sys
+
+CSV_HEADER = (
+    "run,phase,interval,cycle,cycles,scope,ipc,retired,demand_misses,"
+    "stall_load,stall_store,mshr,reads,writes,row_hits,row_misses,"
+    "row_conflicts,row_hit_rate,forwarded,enqueue_failures,read_q,"
+    "write_q,lat_mean,lat_p50,lat_p95,lat_p99,avg_read_latency,"
+    "activates,precharges,bw_util,parks,wakes"
+)
+
+SAMPLE_KEYS = {
+    "phase", "interval", "cycle", "cycles", "retired", "ipc",
+    "demand_misses", "stall_load", "stall_store", "mshr", "controllers",
+}
+
+CTRL_KEYS = {
+    "channel", "reads", "writes", "row_hits", "row_misses",
+    "row_conflicts", "row_hit_rate", "forwarded", "enqueue_failures",
+    "read_q", "write_q", "lat_mean", "lat_p50", "lat_p95", "lat_p99",
+    "activates", "precharges", "bw_util", "parks", "wakes",
+}
+
+TRACE_KEYS = {"run", "cycle", "cmd", "channel", "rank", "bank", "row"}
+TRACE_CMDS = {"ACT", "PRE", "RD", "WR"}
+
+PHASES = {"warmup", "measure"}
+
+
+def fail(path, lineno, msg):
+    sys.exit(f"{path}:{lineno}: {msg}")
+
+
+def lines(path):
+    with open(path) as f:
+        out = [(i, ln.rstrip("\n")) for i, ln in enumerate(f, 1) if ln.strip()]
+    if not out:
+        sys.exit(f"{path}: empty")
+    return out
+
+
+def validate_jsonl(path):
+    for lineno, ln in lines(path):
+        try:
+            s = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(path, lineno, f"bad JSON: {e}")
+        missing = SAMPLE_KEYS - s.keys()
+        if missing:
+            fail(path, lineno, f"sample missing keys {sorted(missing)}")
+        if s["phase"] not in PHASES:
+            fail(path, lineno, f"bad phase {s['phase']!r}")
+        if s["cycles"] <= 0:
+            fail(path, lineno, "non-positive interval width")
+        if not s["controllers"]:
+            fail(path, lineno, "sample without controllers")
+        for c in s["controllers"]:
+            cmissing = CTRL_KEYS - c.keys()
+            if cmissing:
+                fail(path, lineno, f"controller missing keys {sorted(cmissing)}")
+    print(f"{path}: {lineno} interval samples ok")
+
+
+def validate_csv(path):
+    rows = lines(path)
+    lineno, header = rows[0]
+    if header != CSV_HEADER:
+        fail(path, lineno, f"header drifted from documented schema:\n got: {header}\nwant: {CSV_HEADER}")
+    want = len(CSV_HEADER.split(","))
+    scopes = set()
+    for lineno, ln in rows[1:]:
+        fields = ln.split(",")
+        if len(fields) != want:
+            fail(path, lineno, f"{len(fields)} fields, want {want}")
+        scope = fields[5]
+        if not (scope == "sys" or scope.startswith("mc") or scope.startswith("tenant")):
+            fail(path, lineno, f"bad scope {scope!r}")
+        if fields[1] not in PHASES:
+            fail(path, lineno, f"bad phase {fields[1]!r}")
+        scopes.add(scope)
+    if "sys" not in scopes:
+        sys.exit(f"{path}: no sys rows")
+    if not any(s.startswith("mc") for s in scopes):
+        sys.exit(f"{path}: no per-controller rows")
+    print(f"{path}: {len(rows) - 1} rows ok, scopes: {sorted(scopes)}")
+
+
+def validate_trace(path):
+    cmds_seen = set()
+    for lineno, ln in lines(path):
+        try:
+            ev = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(path, lineno, f"bad JSON: {e}")
+        missing = TRACE_KEYS - ev.keys()
+        if missing:
+            fail(path, lineno, f"trace event missing keys {sorted(missing)}")
+        if ev["cmd"] not in TRACE_CMDS:
+            fail(path, lineno, f"bad command {ev['cmd']!r}")
+        if "tenant" in ev and not isinstance(ev["tenant"], int):
+            fail(path, lineno, "tenant is not an integer")
+        cmds_seen.add(ev["cmd"])
+    if "ACT" not in cmds_seen:
+        sys.exit(f"{path}: no activates traced")
+    if not cmds_seen & {"RD", "WR"}:
+        sys.exit(f"{path}: no column accesses traced")
+    print(f"{path}: {lineno} trace events ok, commands: {sorted(cmds_seen)}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--jsonl")
+    ap.add_argument("--csv")
+    ap.add_argument("--trace")
+    args = ap.parse_args()
+    if not (args.jsonl or args.csv or args.trace):
+        ap.error("nothing to validate")
+    if args.jsonl:
+        validate_jsonl(args.jsonl)
+    if args.csv:
+        validate_csv(args.csv)
+    if args.trace:
+        validate_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()

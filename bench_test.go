@@ -10,6 +10,7 @@
 package cloudmc_test
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"cloudmc/internal/dram"
 	"cloudmc/internal/experiment"
 	"cloudmc/internal/memctrl"
+	"cloudmc/internal/obs"
 	"cloudmc/internal/pagepolicy"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/workload"
@@ -307,6 +309,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				sys.Advance(uint64(b.N))
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability stack
+// on the default event-kernel loop: obs=off is the baseline one-nil-
+// check fast path, obs=rec attaches an interval recorder with a JSONL
+// sink, and obs=rec+trace adds per-command tracing (the worst case:
+// one callback per DRAM command issued). The off/rec ratio is the
+// number the "zero overhead when off" claim is judged by; the CI
+// bench gate only watches BenchmarkSimulatorThroughput, so this
+// benchmark reports without gating.
+func BenchmarkObsOverhead(b *testing.B) {
+	variants := []struct {
+		name     string
+		recorder bool
+		trace    bool
+	}{
+		{"obs=off", false, false},
+		{"obs=rec", true, false},
+		{"obs=rec+trace", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(workload.DataServing())
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.recorder {
+				sys.AttachRecorder(obs.NewRecorder("bench", 10_000, obs.NewJSONLSink(io.Discard)))
+			}
+			if v.trace {
+				sys.AttachTrace(obs.NewTraceWriter(io.Discard, "bench"))
+			}
+			sys.FunctionalWarmup(0)
+			b.ResetTimer()
+			sys.Advance(uint64(b.N))
+		})
 	}
 }
 

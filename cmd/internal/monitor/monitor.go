@@ -1,0 +1,121 @@
+// Package monitor is the live run monitor behind the CLIs' -status,
+// -cpuprofile and -memprofile flags: a small HTTP server exposing run
+// progress and the latest obs interval sample as JSON, plus pprof.
+//
+// It lives under cmd/ deliberately. The simulator core under
+// internal/ is wall-clock-free (mclint's nodeterm analyzer enforces
+// that), so everything that needs time.Now — sims/sec rates, wall
+// duration, HTTP serving — belongs to the command layer. The core
+// only ever sees the pure obs.Recorder; this package reads from it.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"cloudmc/internal/obs"
+)
+
+// Status is one /status response. The source callback fills the run
+// fields; the server stamps WallSeconds and CyclesPerSec from its own
+// wall clock.
+type Status struct {
+	Run          string  `json:"run"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Cycle        uint64  `json:"cycle"`
+	TotalCycles  uint64  `json:"total_cycles,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	CellsDone    int     `json:"cells_done,omitempty"`
+	CellsTotal   int     `json:"cells_total,omitempty"`
+	Simulations  uint64  `json:"simulations,omitempty"`
+	// Sample is the most recent obs interval sample, if a recorder is
+	// attached.
+	Sample *obs.Sample `json:"sample,omitempty"`
+}
+
+// Server is a running status endpoint.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Start serves /status (JSON from the source callback) and
+// /debug/pprof on addr. Pass ":0" to bind an ephemeral port; Addr
+// reports the bound address. The source callback is invoked from the
+// server's goroutines and must be safe for concurrent use.
+func Start(addr string, source func() Status) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st := source()
+		st.WallSeconds = time.Since(s.start).Seconds()
+		if st.WallSeconds > 0 {
+			st.CyclesPerSec = float64(st.Cycle) / st.WallSeconds
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
+	// net/http/pprof registers its handlers on the default mux only;
+	// delegate the whole /debug/pprof tree to it.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// StartProfiles starts a CPU profile and/or arms a heap profile,
+// returning a stop function that finishes both. Empty paths disable
+// the corresponding profile; StartProfiles("", "") is a no-op.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("monitor: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("monitor: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("monitor: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("monitor: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

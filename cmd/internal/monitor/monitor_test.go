@@ -1,0 +1,87 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudmc/internal/obs"
+)
+
+func TestStatusEndpoint(t *testing.T) {
+	sample := &obs.Sample{Run: "test", Phase: "measure", Interval: 3, Cycle: 42_000}
+	srv, err := Start("127.0.0.1:0", func() Status {
+		return Status{Run: "test", Cycle: 42_000, TotalCycles: 100_000, Sample: sample}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Run != "test" || st.Cycle != 42_000 || st.TotalCycles != 100_000 {
+		t.Fatalf("bad status: %+v", st)
+	}
+	if st.WallSeconds <= 0 {
+		t.Fatalf("wall seconds not stamped: %+v", st)
+	}
+	if st.CyclesPerSec <= 0 {
+		t.Fatalf("cycles/sec not stamped: %+v", st)
+	}
+	if st.Sample == nil || st.Sample.Interval != 3 {
+		t.Fatalf("sample not carried: %+v", st.Sample)
+	}
+
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+
+	// Disabled profiles are a no-op.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

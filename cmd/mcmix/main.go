@@ -11,6 +11,18 @@
 //	      [-scheds FR-FCFS,ATLAS] [-channels 1]
 //	      [-isolation none|banks|ways|banks+ways,...] [-slo 2.0]
 //	      [-cycles N] [-warm N] [-seed N] [-list] [-detail]
+//	      [-progress] [-obs out.jsonl] [-obs-csv out.csv]
+//	      [-obs-interval N] [-trace trace.jsonl] [-status :8080]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -progress streams per-cell start/finish lines (with cells done /
+// total and per-cell wall time) to stderr while the sweep runs. The
+// observability flags attach the internal/obs stack to every
+// simulated cell: interval samples and DRAM command traces from all
+// cells stream into the shared output files, each row tagged with the
+// cell's run label; -status serves live sweep progress, the latest
+// interval sample and /debug/pprof over HTTP. None of them change
+// simulation results.
 //
 // Custom mixes can be given as core-count-annotated acronym lists,
 // e.g. -mixes "DS:8+HOG:8,WS:4+MR:4+SS:8". -gen N samples N seeded
@@ -29,9 +41,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"cloudmc/cmd/internal/monitor"
 	"cloudmc/internal/core"
 	"cloudmc/internal/experiment"
+	"cloudmc/internal/obs"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/tenant"
 	"cloudmc/internal/workload"
@@ -50,6 +67,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list the canonical mixes and exit")
 	detail := flag.Bool("detail", false, "print the per-tenant breakdown of every cell")
+	progress := flag.Bool("progress", false, "stream per-cell start/finish lines to stderr")
+	obsPath := flag.String("obs", "", "write interval samples from every cell as JSONL to this file")
+	obsCSV := flag.String("obs-csv", "", "write interval samples from every cell as CSV to this file")
+	obsInterval := flag.Uint64("obs-interval", 10_000, "sampling interval in simulated cycles")
+	tracePath := flag.String("trace", "", "write per-command DRAM traces from every cell as JSONL to this file")
+	statusAddr := flag.String("status", "", "serve live /status JSON and /debug/pprof on this address (e.g. :8080)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	die := func(err error) {
@@ -115,8 +140,152 @@ func main() {
 		Seed:           *seed,
 		MaxSlowdownSLO: *slo,
 	}
+
+	stopProfiles, err := monitor.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		die(err)
+	}
+
+	// Observability: every simulated cell gets its own recorder and
+	// trace writer, all streaming into shared output files. The sinks
+	// are mutex-wrapped (cells run in parallel) and every row carries
+	// the cell's run label, so the streams demultiplex by the "run"
+	// column.
+	var obsMu sync.Mutex
+	var recs []*obs.Recorder
+	var tws []*obs.TraceWriter
+	var latestRec *obs.Recorder
+	var obsFiles []*os.File
+	var traceFile *os.File
+	if *obsPath != "" || *obsCSV != "" || *tracePath != "" || *statusAddr != "" {
+		var sinks []obs.Sink
+		for _, fs := range []struct {
+			path string
+			mk   func(*os.File) obs.Sink
+		}{
+			{*obsPath, func(f *os.File) obs.Sink { return obs.NewJSONLSink(f) }},
+			{*obsCSV, func(f *os.File) obs.Sink { return obs.NewCSVSink(f) }},
+		} {
+			if fs.path == "" {
+				continue
+			}
+			f, err := os.Create(fs.path)
+			if err != nil {
+				die(err)
+			}
+			obsFiles = append(obsFiles, f)
+			sinks = append(sinks, obs.SyncSink(fs.mk(f)))
+		}
+		if *tracePath != "" {
+			if traceFile, err = os.Create(*tracePath); err != nil {
+				die(err)
+			}
+		}
+		cfg.Instrument = func(label string, sys *core.System) {
+			rec := obs.NewRecorder(label, *obsInterval, sinks...)
+			sys.AttachRecorder(rec)
+			var tw *obs.TraceWriter
+			if traceFile != nil {
+				// TraceWriter flushes whole lines in a single Write,
+				// so concurrent cells can share one file.
+				tw = obs.NewTraceWriter(traceFile, label)
+				sys.AttachTrace(tw)
+			}
+			obsMu.Lock()
+			recs = append(recs, rec)
+			latestRec = rec
+			if tw != nil {
+				tws = append(tws, tw)
+			}
+			obsMu.Unlock()
+		}
+	}
+
+	// Per-cell progress to stderr, and done/total counters for the
+	// status endpoint. Progress invocations are serialized by the
+	// study, so the start-time map needs no lock of its own.
+	var cellsDone, cellsTotal atomic.Int64
+	if *progress || *statusAddr != "" {
+		starts := map[int]time.Time{}
+		cfg.Progress = func(ev experiment.CellEvent) {
+			cellsDone.Store(int64(ev.Done))
+			cellsTotal.Store(int64(ev.Total))
+			if ev.Start {
+				starts[ev.Index] = time.Now()
+				if *progress {
+					fmt.Fprintf(os.Stderr, "[%d/%d] start %s\n", ev.Done, ev.Total, ev.Label)
+				}
+				return
+			}
+			elapsed := time.Since(starts[ev.Index])
+			delete(starts, ev.Index)
+			if *progress {
+				fmt.Fprintf(os.Stderr, "[%d/%d] done  %s (%.2fs)\n", ev.Done, ev.Total, ev.Label, elapsed.Seconds())
+			}
+		}
+	}
+
 	ms := experiment.NewMixStudy(cfg, mixes, scheds, channels, isolations)
+
+	if *statusAddr != "" {
+		srv, err := monitor.Start(*statusAddr, func() monitor.Status {
+			st := monitor.Status{
+				Run:         "mcmix",
+				CellsDone:   int(cellsDone.Load()),
+				CellsTotal:  int(cellsTotal.Load()),
+				Simulations: ms.Study().Simulations(),
+			}
+			obsMu.Lock()
+			rec := latestRec
+			obsMu.Unlock()
+			if rec != nil {
+				st.Run = rec.Run()
+				st.Cycle = rec.LastCycle()
+				st.TotalCycles = *warm + *cycles
+				if s, ok := rec.Latest(); ok {
+					st.Sample = &s
+				}
+			}
+			return st
+		})
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status: http://%s/status\n", srv.Addr())
+	}
+
 	results := ms.Results()
+
+	for _, rec := range recs {
+		if err := rec.Flush(); err != nil {
+			die(err)
+		}
+		if err := rec.Err(); err != nil {
+			die(err)
+		}
+	}
+	for _, tw := range tws {
+		if err := tw.Flush(); err != nil {
+			die(err)
+		}
+		if err := tw.Err(); err != nil {
+			die(err)
+		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			die(err)
+		}
+	}
+	for _, f := range obsFiles {
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		die(err)
+	}
 
 	for _, ch := range channels {
 		fmt.Printf("=== %d channel(s), %d cycles measured ===\n\n", ch, *cycles)

@@ -6,6 +6,15 @@
 //	mcsim [-workload DS] [-sched FR-FCFS] [-page OpenAdaptive]
 //	      [-channels 1] [-map RoRaBaCoCh] [-cycles N] [-warm N]
 //	      [-seed N] [-percore]
+//	      [-obs out.jsonl] [-obs-csv out.csv] [-obs-interval N]
+//	      [-trace trace.jsonl] [-status :8080]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The observability flags attach the internal/obs stack: -obs and
+// -obs-csv stream interval samples (every -obs-interval simulated
+// cycles) as JSONL or CSV, -trace streams every DRAM command as
+// JSONL, and -status serves live progress plus /debug/pprof over
+// HTTP. None of them change simulation results.
 package main
 
 import (
@@ -13,8 +22,10 @@ import (
 	"fmt"
 	"os"
 
+	"cloudmc/cmd/internal/monitor"
 	"cloudmc/internal/addrmap"
 	"cloudmc/internal/core"
+	"cloudmc/internal/obs"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/workload"
 )
@@ -30,6 +41,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	perCore := flag.Bool("percore", false, "print per-core IPC")
 	ff := flag.Bool("ff", true, "event-horizon fast-forward (off = naive per-cycle loop; metrics are bit-identical)")
+	obsPath := flag.String("obs", "", "write interval samples as JSONL to this file")
+	obsCSV := flag.String("obs-csv", "", "write interval samples as CSV to this file")
+	obsInterval := flag.Uint64("obs-interval", 10_000, "sampling interval in simulated cycles")
+	tracePath := flag.String("trace", "", "write per-command DRAM trace as JSONL to this file")
+	statusAddr := flag.String("status", "", "serve live /status JSON and /debug/pprof on this address (e.g. :8080)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	die := func(err error) {
@@ -69,7 +87,101 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+
+	stopProfiles, err := monitor.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		die(err)
+	}
+
+	// Interval recorder: sinks stream samples as they are recorded,
+	// so a watcher can tail the files (or hit -status) mid-run. The
+	// -status endpoint needs a recorder for progress even when no
+	// sample file was requested.
+	var rec *obs.Recorder
+	var obsFiles []*os.File
+	if *obsPath != "" || *obsCSV != "" || *statusAddr != "" {
+		var sinks []obs.Sink
+		for _, fs := range []struct {
+			path string
+			mk   func(*os.File) obs.Sink
+		}{
+			{*obsPath, func(f *os.File) obs.Sink { return obs.NewJSONLSink(f) }},
+			{*obsCSV, func(f *os.File) obs.Sink { return obs.NewCSVSink(f) }},
+		} {
+			if fs.path == "" {
+				continue
+			}
+			f, err := os.Create(fs.path)
+			if err != nil {
+				die(err)
+			}
+			obsFiles = append(obsFiles, f)
+			sinks = append(sinks, fs.mk(f))
+		}
+		rec = obs.NewRecorder(prof.Acronym, *obsInterval, sinks...)
+		sys.AttachRecorder(rec)
+	}
+
+	var tw *obs.TraceWriter
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			die(err)
+		}
+		tw = obs.NewTraceWriter(traceFile, prof.Acronym)
+		sys.AttachTrace(tw)
+	}
+
+	if *statusAddr != "" {
+		total := *warm + *cycles
+		srv, err := monitor.Start(*statusAddr, func() monitor.Status {
+			st := monitor.Status{
+				Run:         prof.Acronym,
+				Cycle:       rec.LastCycle(),
+				TotalCycles: total,
+			}
+			if s, ok := rec.Latest(); ok {
+				st.Sample = &s
+			}
+			return st
+		})
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status: http://%s/status\n", srv.Addr())
+	}
+
 	m := sys.Run()
+
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			die(err)
+		}
+		if err := rec.Err(); err != nil {
+			die(err)
+		}
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			die(err)
+		}
+		if err := tw.Err(); err != nil {
+			die(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			die(err)
+		}
+	}
+	for _, f := range obsFiles {
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		die(err)
+	}
 
 	fmt.Printf("workload=%s sched=%s page=%s channels=%d map=%s cycles=%d\n",
 		prof.Acronym, kind, cfg.PagePolicy, cfg.Channels, scheme, m.Cycles)

@@ -8,6 +8,7 @@ import (
 	"cloudmc/internal/cpu"
 	"cloudmc/internal/dram"
 	"cloudmc/internal/memctrl"
+	"cloudmc/internal/obs"
 	"cloudmc/internal/pagepolicy"
 	"cloudmc/internal/sched"
 	"cloudmc/internal/tenant"
@@ -126,6 +127,13 @@ type System struct {
 	demandMisses uint64
 	tenantMisses []uint64
 	cycle        uint64
+
+	// rec, when non-nil, is the attached interval recorder
+	// (AttachRecorder). Advance chunks at its interval boundaries so
+	// samples land on identical cycles in every loop mode; everything
+	// else about the run is untouched — obs-on is bit-identical to
+	// obs-off (TestObsDifferential). Nil costs one branch per Advance.
+	rec *obs.Recorder
 
 	// ffRetryAt throttles fast-forward attempts: after horizon() finds
 	// an active component, the system steps at least ffBackoff cycles
@@ -761,6 +769,32 @@ func (s *System) negotiateIOJump(n uint64) uint64 {
 // statistics (kernel_test.go runs them side by side).
 func (s *System) Advance(n uint64) {
 	end := s.cycle + n
+	if s.rec == nil {
+		s.advanceTo(end)
+		return
+	}
+	// Interval recorder attached: chunk the advance at recorder
+	// boundaries so samples land on identical cycles in every loop
+	// mode. Chunked advances compose bit-identically (the PR 4
+	// equivalence suite pins Advance(a); Advance(b) == Advance(a+b)),
+	// so the only observable difference is the snapshots themselves.
+	for s.cycle < end {
+		stop := end
+		if nb := s.rec.NextBoundary(); nb < stop {
+			stop = nb
+		}
+		s.advanceTo(stop)
+		if s.cycle == s.rec.NextBoundary() {
+			s.rec.Record(s.obsSnapshot())
+		}
+	}
+}
+
+// advanceTo runs the configured loop mode up to the absolute cycle
+// end. In kernel mode advanceKernel settles parked cores' stall
+// counters before returning, so counters read at a chunk boundary are
+// exactly the per-cycle loop's values.
+func (s *System) advanceTo(end uint64) {
 	if s.kernelOn() {
 		s.advanceKernel(end)
 		return
@@ -788,9 +822,19 @@ func (s *System) Run() Metrics {
 	}
 	if s.cycle == s.cfg.WarmupCycles {
 		s.resetStats(s.cycle)
+		if s.rec != nil {
+			// Re-anchor the interval series exactly like the aggregate
+			// stats reset: the measure phase starts from zero here.
+			s.rec.Reset(s.obsSnapshot())
+		}
 	}
 	if s.cycle < total {
 		s.Advance(total - s.cycle)
+	}
+	if s.rec != nil && s.cycle > s.rec.LastCycle() {
+		// Close the final partial interval when the run length is not
+		// a multiple of the recorder period.
+		s.rec.Record(s.obsSnapshot())
 	}
 	return s.collect(total)
 }

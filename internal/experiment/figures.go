@@ -118,10 +118,9 @@ func (s *Study) Figure07() *Table {
 // workloads (76% for Media Streaming).
 func (s *Study) Figure08() *Table {
 	wls := s.cfg.workloads()
-	var cells []func()
+	var cells []studyCell
 	for _, p := range wls {
-		p := p
-		cells = append(cells, func() { s.Run(p, baselineKey(p.Acronym)) })
+		cells = append(cells, s.cell(p, baselineKey(p.Acronym)))
 	}
 	s.runAll(cells)
 	vals := make([][]float64, len(wls))

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudmc/internal/core"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+// TestStudyHooks wires Config.Instrument and Config.Progress into a
+// small mix sweep and checks the contract the CLIs rely on: one
+// start and one finish event per cell with a monotone Done counter,
+// and exactly one Instrument call per actual simulation whose label
+// matches a progress cell.
+func TestStudyHooks(t *testing.T) {
+	var mu sync.Mutex
+	instrumented := map[string]int{}
+	var events []CellEvent
+
+	cfg := tinyMixConfig()
+	cfg.Instrument = func(label string, sys *core.System) {
+		if sys == nil {
+			t.Error("Instrument called with nil system")
+		}
+		mu.Lock()
+		instrumented[label]++
+		mu.Unlock()
+	}
+	// Progress invocations are serialized by the study, so the
+	// callback needs no locking of its own; the append below is the
+	// same pattern the CLIs use.
+	cfg.Progress = func(ev CellEvent) {
+		events = append(events, ev)
+	}
+
+	mixes := []tenant.Mix{tenant.Pair(workload.DataServing(), workload.MemoryHog(), 8)}
+	ms := NewMixStudy(cfg, mixes, []sched.Kind{sched.FRFCFS}, []int{1}, nil)
+	ms.Results()
+
+	// 1 mix cell + 2 solo baselines.
+	const wantCells = 3
+	if got := ms.Study().Simulations(); got != wantCells {
+		t.Fatalf("simulations = %d, want %d", got, wantCells)
+	}
+	if len(events) != 2*wantCells {
+		t.Fatalf("progress events = %d, want %d", len(events), 2*wantCells)
+	}
+
+	starts := map[int]string{}
+	finishes := map[int]string{}
+	lastDone := 0
+	for _, ev := range events {
+		if ev.Total != wantCells {
+			t.Fatalf("event total = %d, want %d: %+v", ev.Total, wantCells, ev)
+		}
+		if ev.Label == "" {
+			t.Fatalf("event with empty label: %+v", ev)
+		}
+		if strings.ContainsAny(ev.Label, `,"`) {
+			t.Fatalf("label %q is not CSV-safe", ev.Label)
+		}
+		if ev.Start {
+			if prev, dup := starts[ev.Index]; dup {
+				t.Fatalf("cell %d started twice (%q, %q)", ev.Index, prev, ev.Label)
+			}
+			starts[ev.Index] = ev.Label
+		} else {
+			if prev, dup := finishes[ev.Index]; dup {
+				t.Fatalf("cell %d finished twice (%q, %q)", ev.Index, prev, ev.Label)
+			}
+			finishes[ev.Index] = ev.Label
+			if ev.Done != lastDone+1 {
+				t.Fatalf("done jumped %d -> %d: %+v", lastDone, ev.Done, ev)
+			}
+			lastDone = ev.Done
+		}
+	}
+	if lastDone != wantCells {
+		t.Fatalf("final done = %d, want %d", lastDone, wantCells)
+	}
+	for idx, label := range starts {
+		if finishes[idx] != label {
+			t.Fatalf("cell %d start label %q != finish label %q", idx, label, finishes[idx])
+		}
+	}
+
+	// Every simulation was instrumented exactly once, under a label
+	// that matches a progress cell.
+	if len(instrumented) != wantCells {
+		t.Fatalf("instrumented %d distinct labels, want %d: %v", len(instrumented), wantCells, instrumented)
+	}
+	cellLabels := map[string]bool{}
+	for _, label := range starts {
+		cellLabels[label] = true
+	}
+	for label, n := range instrumented {
+		if n != 1 {
+			t.Fatalf("label %q instrumented %d times", label, n)
+		}
+		if !cellLabels[label] {
+			t.Fatalf("instrument label %q matches no progress cell %v", label, cellLabels)
+		}
+	}
+
+	// A second sweep is pure cache: progress events still flow (the
+	// cells re-run against the cache) but nothing new is simulated or
+	// instrumented.
+	events = events[:0]
+	ms.Results()
+	if got := ms.Study().Simulations(); got != wantCells {
+		t.Fatalf("re-run simulated again: %d", got)
+	}
+	for label, n := range instrumented {
+		if n != 1 {
+			t.Fatalf("re-run instrumented %q again (%d times)", label, n)
+		}
+	}
+	if len(events) != 2*wantCells {
+		t.Fatalf("re-run progress events = %d, want %d", len(events), 2*wantCells)
+	}
+}

@@ -26,6 +26,7 @@ func (s *Study) RunMix(m tenant.Mix, k runKey) core.Metrics {
 		if err != nil {
 			panic(fmt.Sprintf("experiment: mix %s: %v", m.Name, err))
 		}
+		s.instrument(k, sys)
 		return sys.Run()
 	})
 }
@@ -47,6 +48,7 @@ func (s *Study) RunSolo(sp tenant.Spec, k runKey) core.Metrics {
 		if err != nil {
 			panic(fmt.Sprintf("experiment: solo %s/%dc: %v", p.Acronym, p.Cores, err))
 		}
+		s.instrument(k, sys)
 		return sys.Run()
 	})
 }
@@ -132,17 +134,32 @@ func cellKey(k sched.Kind, channels int, iso core.Isolation) runKey {
 // mix-major order.
 func (ms *MixStudy) Results() []MixResult {
 	// Materialize every cell (mix runs and solo baselines) in one
-	// parallel wave; the cache deduplicates shared baselines.
-	var cells []func()
+	// parallel wave; the cache deduplicates shared baselines. Cell
+	// labels mirror the cache keys RunMix/RunSolo build, so Progress
+	// events and Instrument labels agree.
+	var cells []studyCell
 	for _, m := range ms.mixes {
 		for _, k := range ms.scheds {
 			for _, ch := range ms.channels {
 				for _, iso := range ms.isolations {
 					m, k, ch, iso := m, k, ch, iso
-					cells = append(cells, func() { ms.study.RunMix(m, cellKey(k, ch, iso)) })
+					mixKey := cellKey(k, ch, iso)
+					mixKey.workload = "mix:" + m.Name
+					cells = append(cells, studyCell{
+						label: mixKey.label(),
+						run:   func() { ms.study.RunMix(m, cellKey(k, ch, iso)) },
+					})
 					for _, sp := range m.Tenants {
 						sp := sp
-						cells = append(cells, func() { ms.study.RunSolo(sp, cellKey(k, ch, iso)) })
+						p := sp.Adjusted()
+						soloKey := cellKey(k, ch, iso)
+						soloKey.workload = p.Acronym
+						soloKey.cores = p.Cores
+						soloKey.isolation = ""
+						cells = append(cells, studyCell{
+							label: soloKey.label(),
+							run:   func() { ms.study.RunSolo(sp, cellKey(k, ch, iso)) },
+						})
 					}
 				}
 			}

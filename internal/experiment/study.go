@@ -29,6 +29,35 @@ type Config struct {
 	// MaxSlowdownSLO configures the QoS scheduler's per-tenant
 	// slowdown budget in mix studies (0 = the scheduler's default).
 	MaxSlowdownSLO float64
+	// Instrument, when non-nil, is called once per actual simulation
+	// (cache hits excluded) after the System is built and before it
+	// runs — the hook the CLIs use to attach obs recorders and command
+	// traces per cell. label identifies the cell (workload, scheduler,
+	// page policy, mapping, channels, isolation). Calls can come from
+	// concurrent study goroutines, but each sys is exclusively owned
+	// by its cell until Run returns.
+	Instrument func(label string, sys *core.System)
+	// Progress, when non-nil, receives a start and a finish event for
+	// every cell of a parallel study wave. Invocations are serialized
+	// by the study; wall-clock concerns (cell timing, rendering) are
+	// the cmd/ layer's, keeping this package deterministic.
+	Progress func(ev CellEvent)
+}
+
+// CellEvent is one study-cell lifecycle notification delivered to
+// Config.Progress.
+type CellEvent struct {
+	// Label identifies the cell, in runKey order (workload/scheduler/
+	// page/mapping/channels[...]); mix cells use "mix:<name>".
+	Label string
+	// Index is the cell's position in its wave (stable between the
+	// start and finish events of one cell); Total the wave size.
+	Index, Total int
+	// Start distinguishes the begin event from the finish event.
+	Start bool
+	// Done counts cells finished so far, including this one on finish
+	// events.
+	Done int
 }
 
 // Quick returns a configuration sized for tests and benchmarks
@@ -75,6 +104,21 @@ type runKey struct {
 	// cores" baseline owns the whole machine, so every isolation cell
 	// of a mix shares one baseline simulation.
 	isolation string
+}
+
+// label renders the key as the cell identifier passed to
+// Config.Instrument and Config.Progress (and used as the obs run tag
+// by the CLIs). It contains no commas or quotes, so it embeds safely
+// in the obs CSV/JSONL formats.
+func (k runKey) label() string {
+	l := fmt.Sprintf("%s/%s/%s/%s/ch%d", k.workload, k.scheduler, k.page, k.mapping, k.channels)
+	if k.cores > 0 {
+		l += fmt.Sprintf("/%dc", k.cores)
+	}
+	if k.isolation != "" && k.isolation != "none" {
+		l += "/" + k.isolation
+	}
+	return l
 }
 
 // Study runs and caches the simulation grid behind the figures.
@@ -173,8 +217,16 @@ func (s *Study) Run(p workload.Profile, k runKey) core.Metrics {
 		if err != nil {
 			panic(fmt.Sprintf("experiment: %s: %v", p.Acronym, err))
 		}
+		s.instrument(k, sys)
 		return sys.Run()
 	})
+}
+
+// instrument invokes the configured per-simulation hook, if any.
+func (s *Study) instrument(k runKey, sys *core.System) {
+	if s.cfg.Instrument != nil {
+		s.cfg.Instrument(k.label(), sys)
+	}
 }
 
 // do memoizes and single-flights one cache cell around an arbitrary
@@ -215,34 +267,66 @@ func (s *Study) do(k runKey, sim func() core.Metrics) core.Metrics {
 	return m
 }
 
-// runAll executes a set of cells in parallel and blocks until done.
-func (s *Study) runAll(cells []func()) {
+// studyCell is one labeled unit of work in a parallel wave; the label
+// feeds Config.Progress events.
+type studyCell struct {
+	label string
+	run   func()
+}
+
+// cell builds a labeled solo-run cell.
+func (s *Study) cell(p workload.Profile, key runKey) studyCell {
+	key.workload = p.Acronym
+	return studyCell{label: key.label(), run: func() { s.Run(p, key) }}
+}
+
+// runAll executes a set of cells in parallel and blocks until done,
+// emitting serialized start/finish Progress events per cell.
+func (s *Study) runAll(cells []studyCell) {
 	par := s.cfg.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
+	total := len(cells)
+	var progMu sync.Mutex
+	done := 0
+	emit := func(ev CellEvent) {
+		if s.cfg.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		if !ev.Start {
+			done++
+		}
+		ev.Done = done
+		ev.Total = total
+		s.cfg.Progress(ev)
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
-	for _, cell := range cells {
+	for i, cell := range cells {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(f func()) {
+		go func(i int, c studyCell) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			f()
-		}(cell)
+			emit(CellEvent{Label: c.label, Index: i, Start: true})
+			c.run()
+			emit(CellEvent{Label: c.label, Index: i})
+		}(i, cell)
 	}
 	wg.Wait()
 }
 
 // schedulerGrid materializes the 12x5 scheduler study (Figures 1-7).
 func (s *Study) schedulerGrid() {
-	var cells []func()
+	var cells []studyCell
 	for _, p := range s.cfg.workloads() {
 		for _, k := range sched.Kinds {
-			p, key := p, baselineKey(p.Acronym)
+			key := baselineKey(p.Acronym)
 			key.scheduler = k
-			cells = append(cells, func() { s.Run(p, key) })
+			cells = append(cells, s.cell(p, key))
 		}
 	}
 	s.runAll(cells)
@@ -250,12 +334,12 @@ func (s *Study) schedulerGrid() {
 
 // pageGrid materializes the 12x4 page-policy study (Figures 9-11).
 func (s *Study) pageGrid() {
-	var cells []func()
+	var cells []studyCell
 	for _, p := range s.cfg.workloads() {
 		for _, page := range pagePolicies {
-			p, key := p, baselineKey(p.Acronym)
+			key := baselineKey(p.Acronym)
 			key.page = page
-			cells = append(cells, func() { s.Run(p, key) })
+			cells = append(cells, s.cell(p, key))
 		}
 	}
 	s.runAll(cells)
@@ -265,16 +349,15 @@ func (s *Study) pageGrid() {
 // (Figures 12-14, Table 4): 1-channel baseline plus every mapping at
 // 2 and 4 channels.
 func (s *Study) channelGrid() {
-	var cells []func()
+	var cells []studyCell
 	for _, p := range s.cfg.workloads() {
-		p, key := p, baselineKey(p.Acronym)
-		cells = append(cells, func() { s.Run(p, key) })
+		cells = append(cells, s.cell(p, baselineKey(p.Acronym)))
 		for _, ch := range []int{2, 4} {
 			for _, sc := range addrmap.Schemes {
 				key := baselineKey(p.Acronym)
 				key.channels = ch
 				key.mapping = sc
-				cells = append(cells, func() { s.Run(p, key) })
+				cells = append(cells, s.cell(p, key))
 			}
 		}
 	}

@@ -31,4 +31,18 @@ func TestBrokenFixtureFiresEveryAnalyzer(t *testing.T) {
 				a.Name, strings.Join(got, "\n"))
 		}
 	}
+
+	// The fixture's ObsSampleHook mutates the read queue from an
+	// observability hook without re-arming; horizonarm must flag it
+	// specifically — obs code gets no exemption from the arming
+	// contract.
+	obsFlagged := false
+	for _, f := range findings {
+		if f.Analyzer == "horizonarm" && strings.Contains(f.Message, "ObsSampleHook") {
+			obsFlagged = true
+		}
+	}
+	if !obsFlagged {
+		t.Error("horizonarm did not flag the fixture's ObsSampleHook queue mutation")
+	}
 }

@@ -25,3 +25,13 @@ func (c *Controller) EnqueueArmed(r *Request) {
 	c.readQ = append(c.readQ, r)
 	c.noteEnqueue(r)
 }
+
+// ObsSampleHook mimics an observability hook that drains the read
+// queue into a sample without re-arming the horizon. Observation must
+// never mutate controller state; when it does anyway, horizonarm must
+// flag it like any other exported queue mutation.
+func (c *Controller) ObsSampleHook() int {
+	n := len(c.readQ)
+	c.readQ = c.readQ[:0]
+	return n
+}

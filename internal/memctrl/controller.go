@@ -82,6 +82,13 @@ type Stats struct {
 	// ConflictCloses counts precharges forced by conflicting requests.
 	PolicyCloses   uint64
 	ConflictCloses uint64
+	// Parks counts ticks that parked the controller behind a
+	// multi-cycle event horizon; Wakes counts full ticks that ended
+	// such a parked window. Engine telemetry for the obs recorder, not
+	// architecture: both stay zero with the fast path off, and neither
+	// feeds core.Metrics, so the bit-identity suites ignore them.
+	Parks uint64
+	Wakes uint64
 }
 
 // RowHitRate returns hits / (hits + misses + conflicts).
@@ -122,6 +129,19 @@ func (s *TenantStats) RowHitRate() float64 {
 type completion struct {
 	at  uint64
 	req *Request
+}
+
+// CommandTrace receives every DRAM command the controller issues —
+// the command-level observability hook. Implementations must not
+// mutate controller or channel state; the simulation must stay
+// bit-identical with or without a trace attached. tenant is the
+// issuing request's tenant index, or -1 for commands without an
+// attributable requester (page-policy precharges on idle cycles).
+// For precharges the command's Loc.Row is the row being closed.
+// Reads forwarded from the write queue never touch DRAM and are
+// therefore not traced.
+type CommandTrace interface {
+	Command(now uint64, cmd dram.Command, tenant int)
 }
 
 // Controller is one per-channel memory controller.
@@ -198,6 +218,14 @@ type Controller struct {
 	// tenants holds per-tenant accounting when TrackTenants enabled it
 	// (multi-tenant systems); nil otherwise.
 	tenants []TenantStats
+
+	// trace, when non-nil, observes every issued DRAM command. The hot
+	// loop pays exactly one nil-check branch per issued command when
+	// tracing is off.
+	trace CommandTrace
+	// parked distinguishes a wake-up full tick from a hot full tick so
+	// Stats.Wakes counts parked windows ended, not ticks run.
+	parked bool
 
 	Stats Stats
 }
@@ -349,7 +377,13 @@ func (c *Controller) Channel() *dram.Channel { return c.ch }
 func (c *Controller) SetFastForward(on bool) {
 	c.fastPath = on
 	c.wakeAt = 0
+	c.parked = false
 }
+
+// SetTrace installs a command-level trace (nil disables tracing).
+// Tracing is observation only: it never changes what the controller
+// issues or when, so traced runs stay bit-identical to untraced ones.
+func (c *Controller) SetTrace(t CommandTrace) { c.trace = t }
 
 // Policy exposes the scheduling policy.
 func (c *Controller) Policy() Policy { return c.policy }
@@ -566,6 +600,10 @@ func (c *Controller) Tick(now uint64) {
 	if c.fastPath && now < c.wakeAt && (len(c.inflight) == 0 || c.inflight[0].at > now) {
 		return
 	}
+	if c.parked {
+		c.parked = false
+		c.Stats.Wakes++
+	}
 
 	// 1. Retire completed transfers.
 	for len(c.inflight) > 0 && c.inflight[0].at <= now {
@@ -639,6 +677,10 @@ func (c *Controller) Tick(now uint64) {
 		return
 	}
 	c.wakeAt = c.idleHorizon(now)
+	if c.wakeAt > now+1 {
+		c.parked = true
+		c.Stats.Parks++
+	}
 }
 
 // idleHorizon computes the earliest future cycle at which this
@@ -958,6 +1000,9 @@ func (c *Controller) issue(now uint64, opt Option) {
 	switch opt.Cmd.Kind {
 	case dram.CmdActivate:
 		c.ch.Issue(now, opt.Cmd)
+		if c.trace != nil {
+			c.trace.Command(now, opt.Cmd, opt.Req.Tenant)
+		}
 		opt.Req.triggeredActivate = true
 		c.setPendingClose(bankIdx, false)
 		c.page.OnActivate(loc)
@@ -966,12 +1011,19 @@ func (c *Controller) issue(now uint64, opt Option) {
 		closed := dram.Location{Channel: loc.Channel, Rank: loc.Rank, Bank: loc.Bank, Row: bank.OpenRow}
 		accesses := bank.RowAccesses()
 		c.ch.Issue(now, opt.Cmd)
+		if c.trace != nil {
+			// Trace the row being closed, not the requester's target row.
+			c.trace.Command(now, dram.Command{Kind: dram.CmdPrecharge, Loc: closed}, opt.Req.Tenant)
+		}
 		opt.Req.triggeredConflict = true
 		c.setPendingClose(bankIdx, false)
 		c.Stats.ConflictCloses++
 		c.page.OnRowClosed(closed, accesses, true)
 	case dram.CmdRead, dram.CmdWrite:
 		finish := c.ch.Issue(now, opt.Cmd)
+		if c.trace != nil {
+			c.trace.Command(now, opt.Cmd, opt.Req.Tenant)
+		}
 		c.classify(opt.Req)
 		c.removeRequest(opt.Req)
 		c.scheduleCompletion(opt.Req, finish)
@@ -1097,6 +1149,9 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 			}
 			accesses := b.RowAccesses()
 			c.ch.Issue(now, cmd)
+			if c.trace != nil {
+				c.trace.Command(now, cmd, -1)
+			}
 			c.setPendingClose(idx, false)
 			c.Stats.PolicyCloses++
 			c.page.OnRowClosed(loc, accesses, false)

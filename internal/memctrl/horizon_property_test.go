@@ -198,6 +198,10 @@ func horizonHarness(t *testing.T, seed int64, cycles uint64,
 	}
 	fs.ReadQ, fs.WriteQ = stats.TimeWeighted{}, stats.TimeWeighted{}
 	ns.ReadQ, ns.WriteQ = stats.TimeWeighted{}, stats.TimeWeighted{}
+	// Parks/Wakes are engine telemetry, definitionally zero in the
+	// naive loop; everything architectural must still match exactly.
+	fs.Parks, fs.Wakes = 0, 0
+	ns.Parks, ns.Wakes = 0, 0
 	if !reflect.DeepEqual(fs, ns) {
 		t.Fatalf("controller stats diverged:\nfast:  %+v\nnaive: %+v", fs, ns)
 	}

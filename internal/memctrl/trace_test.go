@@ -1,0 +1,119 @@
+package memctrl
+
+import (
+	"testing"
+
+	"cloudmc/internal/dram"
+	"cloudmc/internal/pagepolicy"
+)
+
+// traceEvent is one captured CommandTrace invocation.
+type traceEvent struct {
+	now    uint64
+	cmd    dram.Command
+	tenant int
+}
+
+// captureTrace records every traced command for assertions.
+type captureTrace struct{ events []traceEvent }
+
+func (c *captureTrace) Command(now uint64, cmd dram.Command, tenant int) {
+	c.events = append(c.events, traceEvent{now, cmd, tenant})
+}
+
+// TestTraceRecordsCommandSequence drives one read to an idle bank and
+// checks the trace reports exactly ACT then RD at the request's
+// location with the requester's tenant.
+func TestTraceRecordsCommandSequence(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewOpen())
+	tr := &captureTrace{}
+	ctl.SetTrace(tr)
+	l := rloc(0, 2, 7, 1)
+	if !ctl.EnqueueRead(0, Source{Core: 1, Tenant: 3}, addrFor(l), l, ReadDemand, nil) {
+		t.Fatal("enqueue failed")
+	}
+	runCycles(ctl, 0, 300)
+	if len(tr.events) != 2 {
+		t.Fatalf("traced %d commands, want 2 (ACT, RD): %+v", len(tr.events), tr.events)
+	}
+	act, rd := tr.events[0], tr.events[1]
+	if act.cmd.Kind != dram.CmdActivate || rd.cmd.Kind != dram.CmdRead {
+		t.Fatalf("command kinds: %v, %v", act.cmd.Kind, rd.cmd.Kind)
+	}
+	if act.cmd.Loc.Rank != 0 || act.cmd.Loc.Bank != 2 || act.cmd.Loc.Row != 7 {
+		t.Fatalf("ACT location: %+v", act.cmd.Loc)
+	}
+	if act.tenant != 3 || rd.tenant != 3 {
+		t.Fatalf("tenants: %d, %d", act.tenant, rd.tenant)
+	}
+	if rd.now < act.now+uint64(ctl.Channel().Tim.RCD) {
+		t.Fatalf("RD at %d violates tRCD after ACT at %d", rd.now, act.now)
+	}
+}
+
+// TestTracePolicyCloseUnattributed checks a page-policy precharge on
+// an idle cycle is traced with tenant -1 and the row being closed.
+func TestTracePolicyCloseUnattributed(t *testing.T) {
+	// Close-page policy: after the read completes the policy closes
+	// the row from tryPendingClose (no conflicting request involved).
+	ctl := testController(t, frPolicy{}, pagepolicy.NewClose())
+	tr := &captureTrace{}
+	ctl.SetTrace(tr)
+	l := rloc(1, 1, 5, 0)
+	if !ctl.EnqueueRead(0, Source{Core: 0, Tenant: 0}, addrFor(l), l, ReadDemand, nil) {
+		t.Fatal("enqueue failed")
+	}
+	runCycles(ctl, 0, 500)
+	var pre *traceEvent
+	for i := range tr.events {
+		if tr.events[i].cmd.Kind == dram.CmdPrecharge {
+			pre = &tr.events[i]
+		}
+	}
+	if pre == nil {
+		t.Fatalf("no PRE traced: %+v", tr.events)
+	}
+	if pre.tenant != -1 {
+		t.Fatalf("policy close tenant = %d, want -1", pre.tenant)
+	}
+	if pre.cmd.Loc.Row != 5 || pre.cmd.Loc.Rank != 1 || pre.cmd.Loc.Bank != 1 {
+		t.Fatalf("PRE traces closed row: %+v", pre.cmd.Loc)
+	}
+}
+
+// TestParkWakeCounters checks the engine telemetry: with the fast
+// path on, serving a request then going idle parks the controller
+// once, and the next enqueue's full tick counts one wake.
+func TestParkWakeCounters(t *testing.T) {
+	ctl := testController(t, frPolicy{}, pagepolicy.NewClose())
+	ctl.SetFastForward(true)
+	l := rloc(0, 0, 3, 1)
+	if !ctl.EnqueueRead(0, Source{}, addrFor(l), l, ReadDemand, nil) {
+		t.Fatal("enqueue failed")
+	}
+	now := uint64(0)
+	for ; now < 2000; now++ {
+		ctl.Tick(now)
+		if ctl.Pending() == 0 && ctl.Stats.Parks > 0 {
+			break
+		}
+	}
+	if ctl.Stats.Parks == 0 {
+		t.Fatal("controller never parked after draining")
+	}
+	if ctl.Stats.Wakes >= ctl.Stats.Parks {
+		t.Fatalf("wakes %d >= parks %d before any wake-up", ctl.Stats.Wakes, ctl.Stats.Parks)
+	}
+	wakesBefore := ctl.Stats.Wakes
+	l2 := rloc(0, 1, 9, 0)
+	if !ctl.EnqueueRead(now+1, Source{}, addrFor(l2), l2, ReadDemand, nil) {
+		t.Fatal("enqueue failed")
+	}
+	runCycles(ctl, now+1, now+400)
+	if ctl.Stats.Wakes <= wakesBefore {
+		t.Fatal("wake-up full tick did not count a wake")
+	}
+	if ctl.Stats.Wakes > ctl.Stats.Parks {
+		t.Fatalf("wakes %d exceed parks %d", ctl.Stats.Wakes, ctl.Stats.Parks)
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cloudmc/internal/dram"
+	"cloudmc/internal/stats"
+)
+
+// snapAt fabricates a cumulative snapshot where every counter equals
+// a base value scaled from the cycle, so deltas are predictable.
+func snapAt(cycle, retired uint64) *Snapshot {
+	var lat stats.LatencyHist
+	for i := uint64(0); i < retired/10; i++ {
+		lat.Add(100)
+	}
+	return &Snapshot{
+		Cycle:        cycle,
+		Retired:      retired,
+		DemandMisses: retired / 10,
+		Controllers: []CtrlCounters{{
+			Channel:     0,
+			ReadsServed: retired / 10,
+			RowHits:     retired / 20,
+			RowMisses:   retired / 40,
+			DataBusBusy: cycle / 2,
+			ReadLatency: lat,
+		}},
+	}
+}
+
+func TestRecorderDeltaSeries(t *testing.T) {
+	r := NewRecorder("DS", 100)
+	r.Prime(snapAt(0, 0))
+	if nb := r.NextBoundary(); nb != 100 {
+		t.Fatalf("next boundary = %d, want 100", nb)
+	}
+	r.Record(snapAt(100, 1000))
+	r.Record(snapAt(200, 3000))
+	got := r.Samples()
+	if len(got) != 2 {
+		t.Fatalf("samples = %d, want 2", len(got))
+	}
+	s0, s1 := got[0], got[1]
+	if s0.Phase != "warmup" || s0.Interval != 0 || s0.Cycle != 100 || s0.Cycles != 100 {
+		t.Fatalf("sample 0 header: %+v", s0)
+	}
+	if s0.Retired != 1000 || s0.IPC != 10 {
+		t.Fatalf("sample 0 retired=%d ipc=%f", s0.Retired, s0.IPC)
+	}
+	if s1.Retired != 2000 || s1.Interval != 1 {
+		t.Fatalf("sample 1 retired=%d interval=%d", s1.Retired, s1.Interval)
+	}
+	if s1.Controllers[0].Reads != 200 {
+		t.Fatalf("sample 1 reads = %d, want 200", s1.Controllers[0].Reads)
+	}
+	// Interval delta latency: 200 new samples of 100 cycles each.
+	if m := s1.Controllers[0].LatMean; m != 100 {
+		t.Fatalf("sample 1 lat mean = %f, want 100", m)
+	}
+	if bw := s1.Controllers[0].BWUtil; bw != 0.5 {
+		t.Fatalf("sample 1 bw util = %f, want 0.5", bw)
+	}
+}
+
+func TestRecorderResetZeroesIntervalState(t *testing.T) {
+	r := NewRecorder("DS", 100)
+	r.Prime(snapAt(0, 0))
+	r.Record(snapAt(100, 1000))
+	// Warmup boundary: aggregate stats reset, recorder re-anchors.
+	r.Reset(snapAt(120, 1200))
+	if got := r.Samples(); len(got) != 0 {
+		t.Fatalf("samples survive Reset: %d", len(got))
+	}
+	if nb := r.NextBoundary(); nb != 220 {
+		t.Fatalf("next boundary after Reset = %d, want 220", nb)
+	}
+	r.Record(snapAt(220, 2200))
+	got := r.Samples()
+	if len(got) != 1 || got[0].Phase != "measure" || got[0].Interval != 0 {
+		t.Fatalf("post-reset sample: %+v", got)
+	}
+	// Delta anchored at the reset snapshot, not the pre-reset one.
+	if got[0].Retired != 1000 || got[0].Cycles != 100 {
+		t.Fatalf("post-reset delta retired=%d cycles=%d", got[0].Retired, got[0].Cycles)
+	}
+}
+
+func TestRecorderSkipsPassedBoundaries(t *testing.T) {
+	r := NewRecorder("DS", 100)
+	r.Prime(snapAt(0, 0))
+	// A direct-stepped system may blow past several boundaries before
+	// recording; the next boundary must land beyond the snapshot.
+	r.Record(snapAt(350, 3500))
+	if nb := r.NextBoundary(); nb != 400 {
+		t.Fatalf("next boundary = %d, want 400", nb)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder("MR", 50, NewJSONLSink(&buf))
+	r.Prime(snapAt(0, 0))
+	r.Record(snapAt(50, 500))
+	r.Record(snapAt(100, 1500))
+	if err := r.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var s Sample
+	if err := json.Unmarshal([]byte(lines[1]), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s.Run != "MR" || s.Cycle != 100 || s.Retired != 1000 {
+		t.Fatalf("round-tripped sample: %+v", s)
+	}
+}
+
+func TestCSVSinkShape(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder("DS", 50, NewCSVSink(&buf))
+	r.Prime(snapAt(0, 0))
+	r.Record(snapAt(50, 500))
+	if err := r.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + sys row + one controller row (no tenants in fixture).
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	for _, row := range lines[1:] {
+		if n := len(strings.Split(row, ",")); n != len(header) {
+			t.Fatalf("row has %d fields, header %d: %s", n, len(header), row)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "run,phase,interval,cycle,cycles,scope") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], ",sys,") || !strings.Contains(lines[2], ",mc0,") {
+		t.Fatalf("scopes:\n%s", buf.String())
+	}
+}
+
+func TestTraceWriterSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, "DS")
+	tw.Command(17, dram.Command{Kind: dram.CmdActivate,
+		Loc: dram.Location{Channel: 0, Rank: 1, Bank: 3, Row: 7041}}, 2)
+	tw.Command(20, dram.Command{Kind: dram.CmdPrecharge,
+		Loc: dram.Location{Channel: 0, Rank: 1, Bank: 3, Row: 7041}}, -1)
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if tw.Events() != 2 {
+		t.Fatalf("events = %d, want 2", tw.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var ev struct {
+		Run     string `json:"run"`
+		Cycle   uint64 `json:"cycle"`
+		Cmd     string `json:"cmd"`
+		Channel int    `json:"channel"`
+		Rank    int    `json:"rank"`
+		Bank    int    `json:"bank"`
+		Row     int    `json:"row"`
+		Tenant  *int   `json:"tenant"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if ev.Run != "DS" || ev.Cycle != 17 || ev.Cmd != "ACT" || ev.Rank != 1 || ev.Bank != 3 || ev.Row != 7041 {
+		t.Fatalf("event: %+v", ev)
+	}
+	if ev.Tenant == nil || *ev.Tenant != 2 {
+		t.Fatalf("tenant: %v", ev.Tenant)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if ev.Cmd != "PRE" {
+		t.Fatalf("cmd: %s", ev.Cmd)
+	}
+}
+
+func TestTraceWriterFlushThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, "DS")
+	cmd := dram.Command{Kind: dram.CmdRead, Loc: dram.Location{Rank: 1, Bank: 2, Row: 3}}
+	for i := uint64(0); i < 2000; i++ {
+		tw.Command(i, cmd, 0)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("buffer never auto-flushed")
+	}
+	// Auto-flushes end on line boundaries.
+	if b := buf.Bytes(); b[len(b)-1] != '\n' {
+		t.Fatal("flush split a line")
+	}
+	tw.Flush()
+	if n := strings.Count(buf.String(), "\n"); n != 2000 {
+		t.Fatalf("trace lines = %d, want 2000", n)
+	}
+}

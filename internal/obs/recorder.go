@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Recorder samples a simulation every Interval simulated cycles: the
+// system hands it cumulative Snapshots at interval boundaries and the
+// Recorder differences them into Samples, keeps the in-memory time
+// series, and forwards each sample to its sinks.
+//
+// Lifecycle: core.System.AttachRecorder calls Prime once at attach;
+// Record fires at every crossed interval boundary inside Advance;
+// Reset fires at the warmup-boundary stats reset (re-anchoring the
+// series exactly like aggregate Stats); Run records one final partial
+// interval if the run ends off-boundary.
+//
+// The Recorder is mutex-guarded so a wall-clock status goroutine (the
+// cmd-layer HTTP monitor) can read Latest/LastCycle while the
+// simulation thread records.
+type Recorder struct {
+	run      string
+	interval uint64
+	sinks    []Sink
+
+	mu      sync.Mutex
+	phase   string
+	prev    *Snapshot
+	next    uint64 // next interval boundary (absolute cycle)
+	nth     int    // interval index within the current phase
+	samples []Sample
+	err     error
+}
+
+// NewRecorder returns a recorder sampling every interval cycles,
+// labelling samples with run and forwarding them to sinks (which may
+// be empty: the in-memory series is always kept). interval must be
+// positive.
+func NewRecorder(run string, interval uint64, sinks ...Sink) *Recorder {
+	if interval == 0 {
+		panic("obs: recorder interval must be positive")
+	}
+	return &Recorder{run: run, interval: interval, sinks: sinks, phase: "warmup"}
+}
+
+// Run returns the recorder's run label.
+func (r *Recorder) Run() string { return r.run }
+
+// Interval returns the sampling period in cycles.
+func (r *Recorder) Interval() uint64 { return r.interval }
+
+// Prime anchors the series at snap without emitting a sample. The
+// system calls it once at attach time.
+func (r *Recorder) Prime(snap *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prev = snap
+	r.next = snap.Cycle + r.interval
+	r.nth = 0
+}
+
+// Reset re-anchors the series at snap and drops accumulated samples,
+// switching the phase to "measure". core.System calls it at the
+// warmup-boundary stats reset so interval state zeroes exactly like
+// aggregate Stats (warmup samples already emitted to sinks remain
+// there, tagged phase "warmup").
+func (r *Recorder) Reset(snap *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.phase = "measure"
+	r.prev = snap
+	r.next = snap.Cycle + r.interval
+	r.nth = 0
+	r.samples = r.samples[:0]
+}
+
+// Record closes the interval ending at snap.Cycle: it appends the
+// delta sample, emits it to every sink, and advances the next
+// boundary past snap.Cycle. A snapshot at the anchor cycle (zero
+// elapsed cycles) is ignored.
+func (r *Recorder) Record(snap *Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.prev == nil || snap.Cycle <= r.prev.Cycle {
+		return
+	}
+	s := delta(r.run, r.phase, r.nth, r.prev, snap)
+	r.prev = snap
+	r.nth++
+	for r.next <= snap.Cycle {
+		r.next += r.interval
+	}
+	r.samples = append(r.samples, s)
+	for _, sink := range r.sinks {
+		if err := sink.Emit(&s); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// NextBoundary returns the absolute cycle of the next interval
+// boundary. core.System chunks Advance at this cycle so samples land
+// on identical cycles in every loop mode.
+func (r *Recorder) NextBoundary() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// LastCycle returns the cycle of the last snapshot seen (via Prime,
+// Reset or Record); 0 before Prime.
+func (r *Recorder) LastCycle() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.prev == nil {
+		return 0
+	}
+	return r.prev.Cycle
+}
+
+// Samples returns a copy of the in-memory series for the current
+// phase.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// Latest returns the most recent sample, if any.
+func (r *Recorder) Latest() (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return Sample{}, false
+	}
+	return r.samples[len(r.samples)-1], true
+}
+
+// Flush flushes every sink.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sink := range r.sinks {
+		if err := sink.Flush(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return r.err
+}
+
+// Err returns the first sink error encountered, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

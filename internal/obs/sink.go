@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Sink receives every recorded sample. Emit is called from the
+// simulation thread at interval boundaries; Flush once at the end of
+// the run. Sinks shared between concurrently-running recorders (the
+// mcmix sweep attaches one recorder per study cell) must be wrapped
+// with SyncSink.
+type Sink interface {
+	Emit(s *Sample) error
+	Flush() error
+}
+
+// JSONLSink writes one JSON object per sample per line — the schema
+// is the Sample struct's json tags, documented in README
+// "Observability" and validated in CI by .github/validate_obs.py.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a buffered JSONL sink over w. The caller owns
+// w (closing files is the CLI's job); call Flush before closing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes s as one JSON line.
+func (j *JSONLSink) Emit(s *Sample) error { return j.enc.Encode(s) }
+
+// Flush drains the buffer to the underlying writer.
+func (j *JSONLSink) Flush() error { return j.bw.Flush() }
+
+// csvHeader is the flat CSV schema: one row per (interval, scope),
+// where scope is "sys" (whole-system aggregates), "mc<channel>" (one
+// controller) or "tenant<i>/<name>". Fields that do not apply to a
+// scope are left zero: sys rows have no latency quantiles (per-bucket
+// histograms are per-controller), mc rows no IPC, tenant rows no
+// queue depths.
+var csvHeader = []string{
+	"run", "phase", "interval", "cycle", "cycles", "scope",
+	"ipc", "retired", "demand_misses", "stall_load", "stall_store", "mshr",
+	"reads", "writes", "row_hits", "row_misses", "row_conflicts", "row_hit_rate",
+	"forwarded", "enqueue_failures", "read_q", "write_q",
+	"lat_mean", "lat_p50", "lat_p95", "lat_p99", "avg_read_latency",
+	"activates", "precharges", "bw_util", "parks", "wakes",
+}
+
+// CSVSink writes the flattened per-scope schema. Unlike the JSONL
+// sink it is row-oriented so the output loads directly into
+// spreadsheet/pandas-style tooling without JSON unnesting.
+type CSVSink struct {
+	bw          *bufio.Writer
+	wroteHeader bool
+	row         []string
+}
+
+// NewCSVSink returns a buffered CSV sink over w; the header row is
+// written on the first Emit.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit writes one row per scope (sys, each controller, each tenant)
+// for the sample.
+func (c *CSVSink) Emit(s *Sample) error {
+	if !c.wroteHeader {
+		c.wroteHeader = true
+		if err := c.writeRow(csvHeader); err != nil {
+			return err
+		}
+	}
+	// sys row: system aggregates plus controller sums.
+	var reads, writes, hits, misses, conflicts, fwd, efail uint64
+	var rq, wq int
+	var bw float64
+	for i := range s.Controllers {
+		cs := &s.Controllers[i]
+		reads += cs.Reads
+		writes += cs.Writes
+		hits += cs.RowHits
+		misses += cs.RowMisses
+		conflicts += cs.RowConflicts
+		fwd += cs.Forwarded
+		efail += cs.EnqueueFailures
+		rq += cs.ReadQLen
+		wq += cs.WriteQLen
+		bw += cs.BWUtil
+	}
+	if n := len(s.Controllers); n > 0 {
+		bw /= float64(n)
+	}
+	hitRate := 0.0
+	if total := hits + misses + conflicts; total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	c.reset(s, "sys")
+	c.add(ftoa(s.IPC), utoa(s.Retired), utoa(s.DemandMisses), utoa(s.StallLoad), utoa(s.StallStore), itoa(s.MSHR))
+	c.add(utoa(reads), utoa(writes), utoa(hits), utoa(misses), utoa(conflicts), ftoa(hitRate))
+	c.add(utoa(fwd), utoa(efail), itoa(rq), itoa(wq))
+	c.add("0", "0", "0", "0", "0")
+	c.add("0", "0", ftoa(bw), "0", "0")
+	if err := c.writeRow(c.row); err != nil {
+		return err
+	}
+	for i := range s.Controllers {
+		cs := &s.Controllers[i]
+		c.reset(s, "mc"+strconv.Itoa(cs.Channel))
+		c.add("0", "0", "0", "0", "0", "0")
+		c.add(utoa(cs.Reads), utoa(cs.Writes), utoa(cs.RowHits), utoa(cs.RowMisses), utoa(cs.RowConflicts), ftoa(cs.RowHitRate))
+		c.add(utoa(cs.Forwarded), utoa(cs.EnqueueFailures), itoa(cs.ReadQLen), itoa(cs.WriteQLen))
+		c.add(ftoa(cs.LatMean), utoa(cs.LatP50), utoa(cs.LatP95), utoa(cs.LatP99), "0")
+		c.add(utoa(cs.Activates), utoa(cs.Precharges), ftoa(cs.BWUtil), utoa(cs.Parks), utoa(cs.Wakes))
+		if err := c.writeRow(c.row); err != nil {
+			return err
+		}
+	}
+	for i := range s.Tenants {
+		ts := &s.Tenants[i]
+		c.reset(s, "tenant"+strconv.Itoa(ts.Tenant)+"/"+ts.Name)
+		c.add(ftoa(ts.IPC), utoa(ts.Retired), utoa(ts.DemandMisses), "0", "0", "0")
+		c.add(utoa(ts.Reads), utoa(ts.Writes), "0", "0", "0", ftoa(ts.RowHitRate))
+		c.add("0", "0", "0", "0")
+		c.add("0", "0", "0", "0", ftoa(ts.AvgReadLatency))
+		c.add("0", "0", "0", "0", "0")
+		if err := c.writeRow(c.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (c *CSVSink) Flush() error { return c.bw.Flush() }
+
+// reset starts a new row with the shared sample prefix. Scope strings
+// (run labels, tenant acronyms) contain no commas or quotes, so plain
+// comma joining is valid CSV.
+func (c *CSVSink) reset(s *Sample, scope string) {
+	c.row = c.row[:0]
+	c.add(s.Run, s.Phase, itoa(s.Interval), utoa(s.Cycle), utoa(s.Cycles), scope)
+}
+
+func (c *CSVSink) add(fields ...string) { c.row = append(c.row, fields...) }
+
+func (c *CSVSink) writeRow(fields []string) error {
+	for i, f := range fields {
+		if i > 0 {
+			if err := c.bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := c.bw.WriteString(f); err != nil {
+			return err
+		}
+	}
+	return c.bw.WriteByte('\n')
+}
+
+func utoa(v uint64) string { return strconv.FormatUint(v, 10) }
+func itoa(v int) string    { return strconv.Itoa(v) }
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// syncSink serializes a shared sink across goroutines.
+type syncSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+// SyncSink wraps s so Emit/Flush are safe to call from concurrent
+// recorders (one per parallel study cell, all writing one file).
+func SyncSink(s Sink) Sink { return &syncSink{s: s} }
+
+func (y *syncSink) Emit(s *Sample) error {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return y.s.Emit(s)
+}
+
+func (y *syncSink) Flush() error {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return y.s.Flush()
+}

@@ -187,6 +187,24 @@ func (l *LatencyHist) Quantile(q float64) uint64 {
 	return l.max
 }
 
+// Sub returns the histogram of samples added to l after prev was
+// copied from it — the per-interval delta the obs recorder uses to
+// compute windowed quantiles from cumulative controller stats. prev
+// must be an earlier copy of the same histogram (every prev bucket
+// <= the corresponding l bucket). The reported Max is l's cumulative
+// max: the bucketed representation cannot recover the window max, so
+// Sub keeps the cumulative value as a valid upper bound.
+func (l LatencyHist) Sub(prev LatencyHist) LatencyHist {
+	var d LatencyHist
+	for i := range l.buckets {
+		d.buckets[i] = l.buckets[i] - prev.buckets[i]
+	}
+	d.sum = l.sum - prev.sum
+	d.count = l.count - prev.count
+	d.max = l.max
+	return d
+}
+
 // String renders the non-empty buckets, for debugging.
 func (l *LatencyHist) String() string {
 	var sb strings.Builder

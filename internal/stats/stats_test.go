@@ -119,6 +119,38 @@ func TestLatencyHistQuantileBounds(t *testing.T) {
 	}
 }
 
+func TestLatencyHistSub(t *testing.T) {
+	var l LatencyHist
+	l.Add(10)
+	l.Add(100)
+	prev := l // snapshot, as the obs recorder takes at an interval boundary
+	l.Add(1000)
+	l.Add(1000)
+	l.Add(1000)
+	d := l.Sub(prev)
+	if d.Count() != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count())
+	}
+	if d.Mean() != 1000 {
+		t.Fatalf("delta mean = %f, want 1000", d.Mean())
+	}
+	// All three window samples are 1000, so every delta quantile lands
+	// in 1000's bucket (upper bound 1024).
+	if q := d.Quantile(0.5); q != 1024 {
+		t.Fatalf("delta p50 = %d, want 1024", q)
+	}
+	// Subtracting an empty histogram is the identity.
+	id := l.Sub(LatencyHist{})
+	if id != l {
+		t.Fatal("Sub of zero histogram is not the identity")
+	}
+	// Sub against itself leaves the cumulative max as documented.
+	z := l.Sub(l)
+	if z.Count() != 0 || z.Max() != l.Max() {
+		t.Fatalf("self-delta count=%d max=%d", z.Count(), z.Max())
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(4, 2) != 2 {
 		t.Fatal("ratio wrong")
