@@ -18,9 +18,20 @@ Edge cases are reported, never silently swallowed:
   - a non-empty base with an empty intersection FAILs: the head lost
     every gated benchmark, which must not pass as "no data".
 
+Benchmarks named .../workers=N additionally feed a parallel-scaling
+report: for every group sharing a prefix, speedup and efficiency of
+each workers=N variant against its workers=1 sibling. The report is
+purely informational — the sharded kernel is gated on bit-identical
+results (the CI correctness matrix), never on speedup, because CI
+runners have few cores and shared tenancy.
+
 Usage: bench_gate.py base.txt head.txt [threshold]
   threshold: maximum allowed geomean head/base time ratio
              (default 1.10 = 10% slower)
+
+Scaling report only: bench_gate.py --scaling head.txt
+  prints the workers=N report for one bench file (no base needed);
+  always exits 0.
 
 Self-test: bench_gate.py --self-test
   exercises the parser and every edge case above on synthetic files;
@@ -35,6 +46,8 @@ import sys
 import tempfile
 
 LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op")
+# A scaling variant: .../workers=N, with go test's -GOMAXPROCS suffix.
+WORKERS = re.compile(r"^(Benchmark\S+?)/workers=(\d+)(?:-\d+)?$")
 
 
 def medians(path):
@@ -48,10 +61,43 @@ def medians(path):
     return {name: statistics.median(v) for name, v in samples.items()}
 
 
+def scaling_report(head):
+    """Print the workers=N parallel-scaling report for parsed medians.
+
+    Informational only (always returns 0): efficiency on a shared
+    low-core CI runner says little, but the trend across PRs does.
+    """
+    groups = {}
+    for name, med in head.items():
+        m = WORKERS.match(name)
+        if m:
+            groups.setdefault(m.group(1), {})[int(m.group(2))] = med
+    printed = False
+    for prefix in sorted(groups):
+        byw = groups[prefix]
+        if 1 not in byw or len(byw) < 2 or byw[1] <= 0:
+            continue
+        if not printed:
+            print("\nparallel scaling (informational, never gated):")
+            printed = True
+        t1 = byw[1]
+        print(f"  {prefix}: workers=1 {t1:.0f} ns/op (baseline)")
+        for w in sorted(byw):
+            if w == 1 or byw[w] <= 0:
+                continue
+            speedup = t1 / byw[w]
+            print(f"  {prefix}: workers={w} {byw[w]:.0f} ns/op"
+                  f"  speedup {speedup:.2f}x  efficiency {speedup / w:.0%}")
+    if not printed:
+        print("\nparallel scaling: no .../workers=N benchmark groups found")
+    return 0
+
+
 def gate(base_path, head_path, threshold):
     """Run the gate; returns the process exit code (0 pass/skip, 1 fail)."""
     base = medians(base_path)
     head = medians(head_path)
+    scaling_report(head)
 
     head_only = sorted(set(head) - set(base))
     base_only = sorted(set(base) - set(head))
@@ -137,6 +183,22 @@ def self_test():
     # 7. Scientific-notation medians parse.
     sci = ["BenchmarkX/a 1000000 5.1e+01 ns/op", "BenchmarkX/b 100 8.0e+01 ns/op"]
     check("scientific notation parses", run(b, sci), 0)
+    # 8. workers=N variants produce the scaling report without
+    # changing the verdict — even when workers=4 scales badly.
+    scaled = ["BenchmarkX/w/workers=1-8 100 100.0 ns/op",
+              "BenchmarkX/w/workers=2-8 100 60.0 ns/op",
+              "BenchmarkX/w/workers=4-8 100 110.0 ns/op"]
+    check("scaling variants never gate", run(scaled, scaled), 0)
+    # 9. The standalone scaling mode parses a file and always passes,
+    # groups or not.
+    scaled_file = bench_file(scaled)
+    plain_file = bench_file(b)
+    try:
+        check("standalone scaling report", scaling_report(medians(scaled_file)), 0)
+        check("standalone scaling, no groups", scaling_report(medians(plain_file)), 0)
+    finally:
+        os.unlink(scaled_file)
+        os.unlink(plain_file)
 
     if failures:
         print(f"self-test FAILED: {', '.join(failures)}")
@@ -148,6 +210,8 @@ def self_test():
 def main():
     if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
         sys.exit(self_test())
+    if len(sys.argv) == 3 and sys.argv[1] == "--scaling":
+        sys.exit(scaling_report(medians(sys.argv[2])))
     if len(sys.argv) < 3:
         sys.exit(__doc__)
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10

@@ -310,6 +310,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			})
 		}
 	}
+
+	// Parallel-scaling variants: the sharded event kernel
+	// (Config.Workers) on multi-channel large-core configs — DS-64c
+	// over 4 channels and the ROADMAP's 256-core 8-channel profile.
+	// The workers=N/workers=1 ratio per family is the parallel
+	// efficiency the bench gate reports (scaling check, not yet
+	// gated); workers=1 is the in-family serial baseline, so the
+	// ratio isolates the barrier + merge cost from everything else.
+	// MSHR capacity scales with the core count so the big machines
+	// keep their controllers busy rather than convoying on miss slots.
+	scaling := []struct {
+		p        workload.Profile
+		channels int
+		mshrCap  int
+	}{
+		{ds64, 4, 96},
+		{workload.DataServing256(), 8, 256},
+	}
+	for _, sc := range scaling {
+		for _, w := range []int{1, 2, 4} {
+			sc, w := sc, w
+			name := sc.p.Acronym + "/ch" + itoa(sc.channels) + "/workers=" + itoa(w)
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig(sc.p)
+				cfg.Channels = sc.channels
+				cfg.MSHRCap = sc.mshrCap
+				cfg.Workers = w
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.FunctionalWarmup(0)
+				b.ResetTimer()
+				sys.Advance(uint64(b.N))
+			})
+		}
+	}
 }
 
 // BenchmarkObsOverhead measures the cost of the observability stack

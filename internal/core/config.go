@@ -180,6 +180,21 @@ type Config struct {
 	// kernel_test.go) and to measure the scan-vs-kernel speedup in
 	// BenchmarkSimulatorThroughput. Ignored unless FastForward is set.
 	LegacyScan bool
+
+	// Workers shards the event kernel's controller phase across this
+	// many goroutines: each stepped cycle, the per-channel controllers
+	// are partitioned round-robin over the workers, ticked
+	// concurrently, and their deferred effects (fill completions,
+	// parking decisions) merged back in channel order after a barrier
+	// (see shard.go). Results are bit-identical for every value — the
+	// differential suite runs the parallel mode as a fourth loop mode —
+	// because shard bodies only touch shard-owned state and the merge
+	// order reproduces the serial loop exactly. 0 and 1 select the
+	// serial loop; values above the channel count are clamped; and
+	// schedulers with cross-channel shared state (sched.CrossChannel:
+	// ATLAS, QoS) force serial regardless. Only meaningful in the
+	// default kernel mode (FastForward set, LegacyScan clear).
+	Workers int
 }
 
 // DefaultConfig returns the paper's Table 2 baseline system for a
@@ -285,6 +300,9 @@ func (c Config) Validate() error {
 	}
 	if c.MeasureCycles == 0 {
 		return fmt.Errorf("core: MeasureCycles must be positive")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }

@@ -61,6 +61,24 @@ type kernelState struct {
 
 	ctrlActive []bool
 
+	// fillBuf holds the per-channel fill completions of the current
+	// stepped cycle's controller phase; drainFillBufs merges them into
+	// the fill queue in channel order after the phase (see shard.go).
+	// Non-nil exactly when the kernel is on — the serial kernel
+	// buffers through the same path as the sharded one.
+	fillBuf [][]delayedFill
+
+	// Sharded controller phase (Config.Workers > 1; see shard.go):
+	// workers is the effective shard count, pool the barrier-synced
+	// worker pool, ctrlWake the per-channel NextEvent results of the
+	// current phase, shardNow/shardFn the per-round closure plumbing
+	// (one closure allocated at init, not per cycle).
+	workers  int
+	pool     *engine.ShardPool
+	ctrlWake []uint64
+	shardNow uint64
+	shardFn  func(shard int)
+
 	// nextWake is the earliest cycle at which any component outside
 	// the wake-up queue can act: stalled cores, active controllers,
 	// and non-empty retry queues. stepKernel rebuilds it every stepped
@@ -93,6 +111,8 @@ func (s *System) initKernel() {
 	for i := range s.ctrlActive {
 		s.ctrlActive[i] = true
 	}
+	s.fillBuf = make([][]delayedFill, len(s.ctrls))
+	s.initShards()
 }
 
 // wakeCore makes a blocked core runnable at cycle now, first applying
@@ -136,7 +156,11 @@ func (s *System) settleCores() {
 // pending page-policy close resets the horizon to "unknown" and
 // activates the controller as before; a forwarded read schedules a
 // completion (re-arm earlier); a coalesced write changes nothing (the
-// armed wake-up already covers it).
+// armed wake-up already covers it). Merge-only under the sharded
+// kernel: it touches ctrlActive and the coordinator-owned wake-up
+// queue.
+//
+//mclint:merge-only
 func (s *System) notifyCtrl(ch int, now uint64) {
 	if s.q == nil || s.ctrlActive[ch] {
 		return
@@ -153,7 +177,10 @@ func (s *System) notifyCtrl(ch int, now uint64) {
 // A head already due is armed for the next cycle: deliveries happen at
 // the top of a stepped cycle, so a fill scheduled mid-cycle (by a
 // controller completion) lands exactly where the per-cycle loop would
-// have delivered it.
+// have delivered it. Merge-only under the sharded kernel: it arms the
+// coordinator-owned wake-up queue.
+//
+//mclint:merge-only
 func (s *System) armFill() {
 	if s.q == nil {
 		return
@@ -228,18 +255,25 @@ func (s *System) stepKernel() {
 		}
 	}
 
-	for i, ctl := range s.ctrls {
-		if !s.ctrlActive[i] {
-			continue
-		}
-		ctl.Tick(now)
-		if w := ctl.NextEvent(now + 1); w > now+1 {
-			s.ctrlActive[i] = false
-			s.q.Arm(s.ctrlSrc[i], w)
-		} else {
+	if s.pool != nil {
+		if s.runCtrlPhase(now) {
 			next = now + 1
 		}
+	} else {
+		for i, ctl := range s.ctrls {
+			if !s.ctrlActive[i] {
+				continue
+			}
+			ctl.Tick(now)
+			if w := ctl.NextEvent(now + 1); w > now+1 {
+				s.ctrlActive[i] = false
+				s.q.Arm(s.ctrlSrc[i], w)
+			} else {
+				next = now + 1
+			}
+		}
 	}
+	s.drainFillBufs()
 
 	// Retry queues poll every cycle while non-empty; a fill that became
 	// due mid-cycle (zero on-chip path latency) is delivered next cycle
@@ -259,6 +293,14 @@ func (s *System) stepKernel() {
 // injection draws replay exactly, and never pass a wake-up, which is
 // what makes every skipped cycle provably inert.
 func (s *System) advanceKernel(end uint64) {
+	if s.pool != nil {
+		// Spawn the shard workers for this chunk and join them on the
+		// way out; a System never leaks goroutines between Advance
+		// calls. Step()-driven single cycles run the shards inline
+		// (ShardPool.Run on an unstarted pool), bit-identically.
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 	for s.cycle < end {
 		if s.nextWake > s.cycle {
 			h := s.nextWake

@@ -10,35 +10,45 @@ import (
 	"cloudmc/internal/workload"
 )
 
-// runModes executes one Config under all three execution modes — the
-// naive per-cycle loop, the legacy horizon scan, and the event kernel
-// — and fails unless the Metrics and final clock agree bit-for-bit.
-// The naive loop ticks every component every cycle, so agreement means
-// the accelerated modes observed exactly the same event ordering.
+// runModes executes one Config under all four execution modes — the
+// naive per-cycle loop, the legacy horizon scan, the event kernel,
+// and the sharded parallel kernel (Workers=4) — and fails unless the
+// Metrics and final clock agree bit-for-bit. The naive loop ticks
+// every component every cycle, so agreement means the accelerated
+// modes observed exactly the same event ordering. The parallel mode
+// runs whatever sharding the config admits (clamped to the channel
+// count, serial fallback for cross-channel schedulers); the matrix
+// test in parallel_test.go additionally pins configs where sharding
+// provably engages.
 func runModes(t *testing.T, cfg Config, label string) Metrics {
 	t.Helper()
-	run := func(ff, legacy bool) (Metrics, uint64) {
+	run := func(ff, legacy bool, workers int) (Metrics, uint64) {
 		c := cfg
 		c.FastForward = ff
 		c.LegacyScan = legacy
+		c.Workers = workers
 		sys, err := NewSystem(c)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		return sys.Run(), sys.cycle
 	}
-	naive, naiveCycle := run(false, false)
-	scan, scanCycle := run(true, true)
-	kernel, kernelCycle := run(true, false)
-	if naiveCycle != scanCycle || naiveCycle != kernelCycle {
-		t.Fatalf("%s: final clocks diverged: naive=%d scan=%d kernel=%d",
-			label, naiveCycle, scanCycle, kernelCycle)
+	naive, naiveCycle := run(false, false, 0)
+	scan, scanCycle := run(true, true, 0)
+	kernel, kernelCycle := run(true, false, 0)
+	parallel, parallelCycle := run(true, false, 4)
+	if naiveCycle != scanCycle || naiveCycle != kernelCycle || naiveCycle != parallelCycle {
+		t.Fatalf("%s: final clocks diverged: naive=%d scan=%d kernel=%d parallel=%d",
+			label, naiveCycle, scanCycle, kernelCycle, parallelCycle)
 	}
 	if !reflect.DeepEqual(naive, scan) {
 		t.Fatalf("%s: legacy scan diverged from naive loop:\nnaive: %+v\nscan:  %+v", label, naive, scan)
 	}
 	if !reflect.DeepEqual(naive, kernel) {
 		t.Fatalf("%s: event kernel diverged from naive loop:\nnaive: %+v\nkernel: %+v", label, naive, kernel)
+	}
+	if !reflect.DeepEqual(naive, parallel) {
+		t.Fatalf("%s: sharded kernel (workers=4) diverged from naive loop:\nnaive:    %+v\nparallel: %+v", label, naive, parallel)
 	}
 	return kernel
 }

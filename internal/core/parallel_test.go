@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"cloudmc/internal/obs"
+	"cloudmc/internal/sched"
+	"cloudmc/internal/tenant"
+	"cloudmc/internal/workload"
+)
+
+// workersFlag parameterizes the parallel-correctness matrix: CI runs
+// the suite once per cell of Workers x GOMAXPROCS
+// (go test ./internal/core -run TestParallelCorrectnessMatrix
+// -args -parallel.workers=N). 0 selects runtime.NumCPU().
+var workersFlag = flag.Int("parallel.workers", 4, "worker count for TestParallelCorrectnessMatrix (0 = NumCPU)")
+
+// matrixWorkers resolves the -parallel.workers flag.
+func matrixWorkers() int {
+	if *workersFlag == 0 {
+		return runtime.NumCPU()
+	}
+	return *workersFlag
+}
+
+// parallelCase is one serial-vs-sharded comparison config.
+type parallelCase struct {
+	label string
+	cfg   Config
+}
+
+// parallelCases spans the regimes the sharded phase must cover:
+// multi-channel per-channel schedulers (where sharding engages),
+// cross-channel schedulers (serial fallback), isolation, DMA traffic,
+// and more channels than the paper's study uses.
+func parallelCases() []parallelCase {
+	short := func(cfg Config) Config {
+		cfg.WarmupCycles = 2_000
+		cfg.MeasureCycles = 10_000
+		cfg.WarmupInstrPerCore = 2_000
+		return cfg
+	}
+
+	ds4 := DefaultConfig(workload.DataServing())
+	ds4.Channels = 4
+
+	io8 := DefaultConfig(workload.MediaStreaming())
+	io8.Channels = 8
+	io8.Scheduler = sched.PARBS
+
+	bank2 := DefaultConfig(workload.TPCHQ6())
+	bank2.Channels = 2
+	bank2.Scheduler = sched.FCFSBanks
+
+	rl4 := DefaultConfig(workload.WebSearch())
+	rl4.Channels = 4
+	rl4.Scheduler = sched.RL
+
+	atlas4 := DefaultConfig(workload.MapReduce())
+	atlas4.Channels = 4
+	atlas4.Scheduler = sched.ATLAS
+	atlas4.SchedOpts.ATLAS = sched.ATLASConfig{
+		QuantumCycles: 3_000, Alpha: 0.875,
+		StarvationThreshold: 500, ScanDepth: 2,
+	}
+
+	mix := tenant.NewMix("",
+		tenant.Spec{Profile: workload.DataServing(), Cores: 8},
+		tenant.Spec{Profile: workload.WebFrontend(), Cores: 8},
+		tenant.Spec{Profile: workload.MemoryHog(), Cores: 8},
+	)
+	qosMix := DefaultMixConfig(mix)
+	qosMix.Channels = 4
+	qosMix.Scheduler = sched.QoS
+	qosMix.Isolation = Isolation{BankPartition: true, WayPartition: true}
+
+	return []parallelCase{
+		{"DS/FR-FCFS/ch4", short(ds4)},
+		{"MS/PAR-BS/ch8", short(io8)},
+		{"TPCH-Q6/FCFS_Banks/ch2", short(bank2)},
+		{"WS/RL/ch4", short(rl4)},
+		{"MR/ATLAS/ch4", short(atlas4)},
+		{"mix/QoS/ch4", short(qosMix)},
+	}
+}
+
+// runPair runs one config serial and with the given worker count and
+// returns both Metrics plus the sharded system's effective shard
+// count.
+func runPair(t *testing.T, cfg Config, workers int, label string) (serial, parallel Metrics, effective int) {
+	t.Helper()
+	run := func(w int) (Metrics, int) {
+		c := cfg
+		c.FastForward = true
+		c.LegacyScan = false
+		c.Workers = w
+		sys, err := NewSystem(c)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return sys.Run(), sys.Workers()
+	}
+	serial, _ = run(0)
+	parallel, effective = run(workers)
+	return serial, parallel, effective
+}
+
+// TestParallelCorrectnessMatrix is the CI matrix body: every case of
+// parallelCases must be bit-identical between the serial kernel and
+// the sharded kernel at the -parallel.workers count, and sharding
+// must actually engage for the per-channel schedulers (the matrix
+// would otherwise pass vacuously).
+func TestParallelCorrectnessMatrix(t *testing.T) {
+	workers := matrixWorkers()
+	for _, tc := range parallelCases() {
+		tc := tc
+		t.Run(tc.label, func(t *testing.T) {
+			serial, parallel, effective := runPair(t, tc.cfg, workers, tc.label)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s: workers=%d diverged from serial:\nserial:   %+v\nparallel: %+v",
+					tc.label, workers, serial, parallel)
+			}
+			want := workers
+			if tc.cfg.Channels < want {
+				want = tc.cfg.Channels
+			}
+			if sched.CrossChannel(tc.cfg.Scheduler) {
+				want = 1
+			}
+			if want < 1 {
+				want = 1
+			}
+			if effective != want {
+				t.Fatalf("%s: effective workers = %d, want %d", tc.label, effective, want)
+			}
+			if serial.Retired == 0 {
+				t.Fatalf("%s: degenerate case retired nothing", tc.label)
+			}
+		})
+	}
+}
+
+// TestParallelWorkerClamping pins the effective-shard-count rules on
+// their own: clamped to the channel count, serial for cross-channel
+// schedulers, 0/1 = serial.
+func TestParallelWorkerClamping(t *testing.T) {
+	build := func(mutate func(*Config)) *System {
+		cfg := DefaultConfig(workload.DataServing())
+		cfg.Channels = 4
+		mutate(&cfg)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	if got := build(func(c *Config) { c.Workers = 16 }).Workers(); got != 4 {
+		t.Errorf("workers=16 over 4 channels: effective %d, want 4 (clamp)", got)
+	}
+	if got := build(func(c *Config) { c.Workers = 4; c.Scheduler = sched.ATLAS }).Workers(); got != 1 {
+		t.Errorf("ATLAS with workers=4: effective %d, want 1 (cross-channel fallback)", got)
+	}
+	if got := build(func(c *Config) { c.Workers = 4; c.Scheduler = sched.QoS }).Workers(); got != 1 {
+		t.Errorf("QoS with workers=4: effective %d, want 1 (cross-channel fallback)", got)
+	}
+	if got := build(func(c *Config) { c.Workers = 1 }).Workers(); got != 1 {
+		t.Errorf("workers=1: effective %d, want 1", got)
+	}
+	if got := build(func(c *Config) { c.Workers = 0 }).Workers(); got != 1 {
+		t.Errorf("workers=0: effective %d, want 1", got)
+	}
+	if got := build(func(c *Config) { c.Workers = 2; c.FastForward = false }).Workers(); got != 1 {
+		t.Errorf("naive loop with workers=2: effective %d, want 1 (kernel off)", got)
+	}
+}
+
+// TestShardedRaceStress is the race-detector stress body CI's race
+// job runs explicitly: short randomized profiles at worker counts
+// beyond the host's core count, exercising dispatch, barrier, panic
+// plumbing and the merge under the race detector. It also asserts
+// serial equality so a scheduling-dependent divergence cannot hide
+// behind a clean race report.
+func TestShardedRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	kinds := []sched.Kind{sched.FRFCFS, sched.PARBS, sched.FCFSBanks, sched.RL}
+	for trial := 0; trial < 4; trial++ {
+		p := randomProfile(rng)
+		cfg := DefaultConfig(p)
+		cfg.Scheduler = kinds[trial%len(kinds)]
+		cfg.Channels = 8
+		cfg.Seed = rng.Uint64() | 1
+		cfg.WarmupCycles = 1_000
+		cfg.MeasureCycles = 5_000
+		cfg.WarmupInstrPerCore = 1_000
+		workers := runtime.NumCPU() + 3 // over-subscribe; clamped to 8 channels
+		label := p.Acronym + "/" + cfg.Scheduler.String()
+		t.Run(label, func(t *testing.T) {
+			serial, parallel, effective := runPair(t, cfg, workers, label)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s: workers=%d diverged from serial", label, workers)
+			}
+			if effective < 2 {
+				t.Fatalf("%s: stress ran with %d effective workers — nothing exercised", label, effective)
+			}
+		})
+	}
+}
+
+// traceKey is the documented deterministic sort key of a trace line:
+// (cycle, channel). A controller issues at most one DRAM command per
+// tick, so the key is a total order over any one run's lines; sorting
+// by it makes a sharded run's trace byte-identical to the serial
+// run's (see obs.TraceWriter).
+type traceKey struct {
+	Cycle   uint64 `json:"cycle"`
+	Channel int    `json:"channel"`
+}
+
+// sortTraceLines stable-sorts JSONL trace lines by (cycle, channel).
+func sortTraceLines(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n"))
+	keys := make([]traceKey, len(lines))
+	for i, ln := range lines {
+		if err := json.Unmarshal(ln, &keys[i]); err != nil {
+			t.Fatalf("trace line %d: %v", i, err)
+		}
+	}
+	idx := make([]int, len(lines))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka.Cycle != kb.Cycle {
+			return ka.Cycle < kb.Cycle
+		}
+		return ka.Channel < kb.Channel
+	})
+	var out bytes.Buffer
+	for _, i := range idx {
+		out.Write(lines[i])
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// obsArtifacts runs one config with the full observability stack
+// attached and returns the recorder JSONL, recorder CSV and raw
+// trace bytes.
+func obsArtifacts(t *testing.T, cfg Config, workers int) (jsonl, csv, trace []byte) {
+	t.Helper()
+	c := cfg
+	c.Workers = workers
+	sys, err := NewSystem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb, cb, tb bytes.Buffer
+	rec := obs.NewRecorder("par", 2_500, obs.NewJSONLSink(&jb), obs.NewCSVSink(&cb))
+	sys.AttachRecorder(rec)
+	tw := obs.NewTraceWriter(&tb, "par")
+	sys.AttachTrace(tw)
+	sys.Run()
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() == 0 {
+		t.Fatal("trace recorded no commands")
+	}
+	return jb.Bytes(), cb.Bytes(), tb.Bytes()
+}
+
+// TestParallelObsEquivalence covers the obs merge order: recorder
+// JSONL and CSV from a workers=4 run must be byte-identical to the
+// serial run as written (snapshots are coordinator-only, taken at
+// barrier-settled chunk boundaries), and the command trace must be
+// byte-identical after a stable sort by its documented (cycle,
+// channel) key — the only artifact where worker interleaving can
+// reorder lines within a cycle.
+func TestParallelObsEquivalence(t *testing.T) {
+	cfg := DefaultConfig(workload.DataServing())
+	cfg.Channels = 4
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 10_000
+	cfg.WarmupInstrPerCore = 2_000
+
+	sj, sc, st := obsArtifacts(t, cfg, 0)
+	pj, pc, pt := obsArtifacts(t, cfg, 4)
+
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("recorder JSONL diverged between serial and workers=4 (%d vs %d bytes)", len(sj), len(pj))
+	}
+	if !bytes.Equal(sc, pc) {
+		t.Errorf("recorder CSV diverged between serial and workers=4 (%d vs %d bytes)", len(sc), len(pc))
+	}
+	ss, ps := sortTraceLines(t, st), sortTraceLines(t, pt)
+	if !bytes.Equal(ss, ps) {
+		t.Errorf("command trace diverged after (cycle, channel) sort (%d vs %d bytes)", len(ss), len(ps))
+	}
+	// The serial trace is already in key order — sorting it must be a
+	// no-op, otherwise the documented key is not the serial order and
+	// the comparison above proves nothing.
+	if !bytes.Equal(st, ss) {
+		t.Error("serial trace is not in (cycle, channel) order; documented sort key is wrong")
+	}
+}
+
+// TestParallel256CoreEquivalence pins the regime the sharding exists
+// for — the ROADMAP's 256-core, 8-channel configuration — comparing
+// the serial and sharded kernels directly (the naive loop at this
+// scale belongs to the nightly suite).
+func TestParallel256CoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-core paired simulations are slow")
+	}
+	cfg := DefaultConfig(workload.DataServing256())
+	cfg.Channels = 8
+	cfg.MSHRCap = 256
+	cfg.WarmupCycles = 1_000
+	cfg.MeasureCycles = 6_000
+	cfg.WarmupInstrPerCore = 1_000
+	serial, parallel, effective := runPair(t, cfg, 4, "DS-256c/ch8")
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("DS-256c/ch8: workers=4 diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if effective != 4 {
+		t.Fatalf("DS-256c/ch8: effective workers = %d, want 4", effective)
+	}
+	if serial.Retired == 0 {
+		t.Fatal("256-core run retired nothing")
+	}
+}
+
+// nightly reports whether the long-form nightly suite is requested
+// (the scheduled workflow sets MCSIM_NIGHTLY=1; too slow for per-PR
+// CI).
+func nightly() bool { return os.Getenv("MCSIM_NIGHTLY") != "" }
+
+// TestNightlyParallelDifferential is the long-form differential
+// suite: many randomized trials across all four loop modes plus a
+// sharded run at NumCPU workers, at 4x the per-PR cycle counts.
+func TestNightlyParallelDifferential(t *testing.T) {
+	if !nightly() {
+		t.Skip("set MCSIM_NIGHTLY=1 to run the long-form differential suite")
+	}
+	kinds := []sched.Kind{sched.FRFCFS, sched.ATLAS, sched.PARBS, sched.FCFSBanks, sched.RL}
+	rng := rand.New(rand.NewSource(20260809))
+	trials := 30
+	if testing.Short() {
+		// The nightly race soak reruns this suite under -race -short;
+		// the detector is ~10x slower, so trade volume for coverage.
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randomProfile(rng)
+		cfg := DefaultConfig(p)
+		cfg.Scheduler = kinds[rng.Intn(len(kinds))]
+		cfg.Channels = 1 << rng.Intn(4) // up to 8 channels
+		cfg.Seed = rng.Uint64() | 1
+		cfg.WarmupCycles = 8_000
+		cfg.MeasureCycles = 40_000
+		cfg.WarmupInstrPerCore = 4_000
+		cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+			QuantumCycles: 6_000, Alpha: 0.875,
+			StarvationThreshold: 1_000, ScanDepth: 2,
+		}
+		label := p.Acronym + "/" + cfg.Scheduler.String()
+		t.Run(label, func(t *testing.T) {
+			m := runModes(t, cfg, label)
+			serial, parallel, _ := runPair(t, cfg, runtime.NumCPU(), label)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s: workers=NumCPU diverged from serial", label)
+			}
+			if m.Retired == 0 {
+				t.Fatalf("%s: degenerate trial retired nothing", label)
+			}
+		})
+	}
+}
+
+// TestNightlyParkHorizonAudit is the long-form VerifyParkHorizon
+// audit: the same brute-force park-by-park replay as
+// TestParkHorizonExactness, over more trials and 4x the audited
+// window.
+func TestNightlyParkHorizonAudit(t *testing.T) {
+	if !nightly() {
+		t.Skip("set MCSIM_NIGHTLY=1 to run the long-form park-horizon audits")
+	}
+	kinds := []sched.Kind{sched.FRFCFS, sched.ATLAS, sched.PARBS, sched.QoS, sched.FCFSBanks, sched.RL}
+	rng := rand.New(rand.NewSource(20260810))
+	for trial := 0; trial < 12; trial++ {
+		p := randomProfile(rng)
+		cfg := DefaultConfig(p)
+		cfg.Scheduler = kinds[trial%len(kinds)]
+		cfg.Channels = 1 << rng.Intn(3)
+		cfg.Seed = rng.Uint64() | 1
+		cfg.SchedOpts.ATLAS = sched.ATLASConfig{
+			QuantumCycles: 3_000, Alpha: 0.875,
+			StarvationThreshold: 500, ScanDepth: 2,
+		}
+		cfg.SchedOpts.QoS = sched.QoSConfig{
+			MaxSlowdownSLO: 1.5, QuantumCycles: 5_000, Alpha: 0.875,
+			StarvationThreshold: 1_000, ScanDepth: 4, BaselineLatency: 70,
+		}
+		label := p.Acronym + "/" + cfg.Scheduler.String()
+		t.Run(label, func(t *testing.T) {
+			stepAndAudit(t, cfg, 48_000, label)
+		})
+	}
+}

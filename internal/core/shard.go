@@ -1,0 +1,166 @@
+package core
+
+import (
+	"cloudmc/internal/engine"
+	"cloudmc/internal/sched"
+)
+
+// This file shards the event kernel's controller phase across a
+// worker pool (Config.Workers). The phase is the only parallel region
+// of the simulator; everything else — fills, IO injection, writeback
+// drain, core ticks, the wake-up queue — stays on the coordinator
+// goroutine, untouched.
+//
+// Why the controller phase: per-channel controllers own disjoint
+// state (their request queues, their dram.Channel, their per-channel
+// policy and page-policy instances), so with the cross-channel
+// schedulers excluded (sched.CrossChannel forces serial) two
+// controllers' Ticks share nothing mutable. The serial loop breaks
+// that independence in exactly two places, and both are deferred into
+// a post-barrier merge:
+//
+//   - Fill completions: a controller finishing a read fires its
+//     OnDone callback, which in the serial loop inserted into the
+//     shared fill queue (System.scheduleFill) mid-phase. In kernel
+//     mode the callback buffers the completion in a per-channel slice
+//     (System.completeFill) instead, and drainFillBufs merges the
+//     buffers in channel order after the phase. Controllers never
+//     read the fill queue, so deferring the inserts cannot change
+//     what any controller observed; draining in ascending channel
+//     order replays the exact insertion sequence of the serial loop
+//     (which ticked channels in ascending order), and scheduleFill's
+//     insertion sort keeps equal-time entries in insertion order —
+//     the fill queue ends the cycle bit-identical.
+//   - Parking: the serial loop called ctl.NextEvent and armed the
+//     wake-up queue inline. Shard bodies must not touch the engine
+//     queue (it is coordinator state), so each shard only records
+//     NextEvent into its channels' ctrlWake slots and mergeCtrlPhase
+//     applies the park/stay-hot decisions in channel order after the
+//     barrier. NextEvent is a pure read of controller state and the
+//     queue sees the same (source, time) arming sequence, so the
+//     calendar ring and heap end the cycle bit-identical too.
+//
+// Everything a shard body writes is owned by exactly one shard:
+// channels are assigned round-robin (channel mod workers), ctrlWake
+// and fillBuf are indexed per channel, and controller/DRAM state
+// belongs to the channel being ticked. The engine.ShardPool barrier
+// gives the coordinator a happens-before edge over all of it, so the
+// hot path needs no atomics and runs clean under the race detector.
+// The mclint shardsafe analyzer guards the discipline statically:
+// functions marked //mclint:shard (and everything they reach in this
+// package) must not touch package-level mutables or call the
+// merge-only primitives (scheduleFill, armFill, notifyCtrl).
+
+// initShards configures the sharded controller phase during
+// initKernel: the effective worker count is Config.Workers clamped to
+// the channel count, forced to 1 for schedulers whose policy
+// instances share cross-channel state.
+func (s *System) initShards() {
+	w := s.cfg.Workers
+	if w > len(s.ctrls) {
+		w = len(s.ctrls)
+	}
+	if sched.CrossChannel(s.cfg.Scheduler) {
+		w = 1
+	}
+	if w <= 1 {
+		return
+	}
+	s.workers = w
+	s.pool = engine.NewShardPool(w)
+	s.ctrlWake = make([]uint64, len(s.ctrls))
+	s.shardFn = func(shard int) { s.tickShard(shard, s.shardNow) }
+}
+
+// Workers reports the effective shard count of the controller phase:
+// Config.Workers after clamping and the cross-channel-scheduler
+// fallback. 1 means the serial loop.
+func (s *System) Workers() int {
+	if s.workers > 1 {
+		return s.workers
+	}
+	return 1
+}
+
+// tickShard runs the controller phase for the channels one shard
+// owns. It writes only shard-owned slots: the owned controllers'
+// internal state, their ctrlWake entries, and (through the OnDone
+// callbacks firing inside Tick) their fillBuf slices. ctrlActive is
+// read-only during the phase; parking is deferred to mergeCtrlPhase.
+//
+//mclint:shard
+func (s *System) tickShard(shard int, now uint64) {
+	for ch := shard; ch < len(s.ctrls); ch += s.workers {
+		if !s.ctrlActive[ch] {
+			continue
+		}
+		ctl := s.ctrls[ch]
+		ctl.Tick(now)
+		s.ctrlWake[ch] = ctl.NextEvent(now + 1)
+	}
+}
+
+// runCtrlPhase executes the sharded controller phase for one stepped
+// cycle and reports whether any controller stays hot (needs the next
+// cycle). With fewer than two active controllers the barrier cannot
+// pay for itself, so the shards run inline on the coordinator through
+// the very same code path — dispatch choice can never affect results.
+func (s *System) runCtrlPhase(now uint64) bool {
+	active := 0
+	for _, a := range s.ctrlActive {
+		if a {
+			active++
+		}
+	}
+	if active == 0 {
+		return false
+	}
+	s.shardNow = now
+	if active >= 2 {
+		s.pool.Run(s.shardFn)
+	} else {
+		for shard := 0; shard < s.workers; shard++ {
+			s.tickShard(shard, now)
+		}
+	}
+	return s.mergeCtrlPhase(now)
+}
+
+// mergeCtrlPhase applies the deferred parking decisions in channel
+// order after the barrier — the same (source, time) arming sequence
+// the serial loop produced inline — and reports whether any
+// controller stays hot.
+func (s *System) mergeCtrlPhase(now uint64) bool {
+	hot := false
+	for ch := range s.ctrls {
+		if !s.ctrlActive[ch] {
+			continue
+		}
+		if w := s.ctrlWake[ch]; w > now+1 {
+			s.ctrlActive[ch] = false
+			s.q.Arm(s.ctrlSrc[ch], w)
+		} else {
+			hot = true
+		}
+	}
+	return hot
+}
+
+// drainFillBufs merges the controller phase's buffered fill
+// completions into the fill queue in ascending channel order,
+// replaying the serial loop's insertion sequence exactly (see the
+// file comment). Runs on the coordinator after the phase, in every
+// kernel mode — the serial kernel buffers through the same path so
+// workers=1 and workers=N share one semantics.
+func (s *System) drainFillBufs() {
+	for ch := range s.fillBuf {
+		buf := s.fillBuf[ch]
+		if len(buf) == 0 {
+			continue
+		}
+		for _, f := range buf {
+			s.scheduleFill(f.at, f.e)
+		}
+		s.fillBuf[ch] = buf[:0]
+	}
+}

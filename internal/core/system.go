@@ -393,7 +393,7 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	// The fixed on-chip path latency is charged by queueing the fill
 	// for MemPathLatency cycles after the data leaves the controller.
 	ok := s.ctrls[loc.Channel].EnqueueRead(now, memctrl.Source{Core: core, Tenant: ten}, addr, loc, kind, func(at uint64) {
-		s.scheduleFill(at+uint64(s.cfg.MemPathLatency), e)
+		s.completeFill(loc.Channel, at+uint64(s.cfg.MemPathLatency), e)
 	})
 	if !ok {
 		return cpu.AccessResult{Rejected: true}
@@ -405,8 +405,32 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	return cpu.AccessResult{Pending: true}
 }
 
+// completeFill routes a finished DRAM read toward the fill queue.
+// Controllers fire it (through the OnDone closure above) strictly
+// from inside Controller.Tick. In kernel mode the completion is
+// buffered per channel and merged into the fill queue by
+// drainFillBufs after the controller phase — the deferral that lets
+// the sharded run tick controllers concurrently, and equally the path
+// the serial kernel takes so both share one semantics (see shard.go).
+// The per-cycle and legacy-scan loops (fillBuf nil) schedule
+// directly, unchanged.
+//
+//mclint:shard
+func (s *System) completeFill(ch int, at uint64, e *mshrEntry) {
+	if s.fillBuf == nil {
+		s.scheduleFill(at, e) //mclint:shard-ok -- fillBuf is nil only when the kernel (and with it sharding) is off
+		return
+	}
+	s.fillBuf[ch] = append(s.fillBuf[ch], delayedFill{at: at, e: e})
+}
+
 // scheduleFill queues a completed read for delivery at cycle `at`
 // (insertion sort; the queue is bounded by the MSHR capacity).
+// Merge-only under the sharded kernel: it mutates the shared fill
+// queue and arms the coordinator-owned wake-up queue, so shard bodies
+// must route through completeFill instead.
+//
+//mclint:merge-only
 func (s *System) scheduleFill(at uint64, e *mshrEntry) {
 	i := len(s.fillq)
 	s.fillq = append(s.fillq, delayedFill{})

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardPool is the barrier-synchronized worker pool behind the
+// kernel's sharded controller phase: a fixed number of shards, each
+// round running one function over every shard index concurrently and
+// returning only after all shards finished. The pool is the whole
+// synchronization story of the parallel kernel — shard bodies write
+// only shard-owned slots, and the Run barrier (round publication
+// before the round, completion count after it, both sync/atomic)
+// gives the coordinator a happens-before edge over everything every
+// shard wrote, so the post-round merge reads are race-free without
+// any atomics in the shard bodies.
+//
+// Rounds are microseconds apart on the hot path (one per stepped
+// kernel cycle), so the barrier spins: workers watch the round
+// counter with a Gosched-yielding spin loop instead of blocking on a
+// channel, which would pay a futex wake per round — measured at the
+// same order as the controller work being parallelized. A worker
+// that spins too long without seeing a round (the kernel is inside a
+// long jump, or the coordinator is off doing serial phases) parks on
+// a channel and is woken by the next Run, so an idle pool burns no
+// CPU beyond the parking threshold.
+//
+// Lifecycle: NewShardPool allocates, Start spawns the n-1 worker
+// goroutines (shard 0 always runs on the caller's goroutine), Run
+// executes rounds, Stop joins the workers. A pool that was never
+// started still accepts Run — the round executes every shard inline
+// in ascending order, which keeps single-step debugging and tests
+// free of goroutine plumbing while remaining bit-identical (shard
+// bodies are independent by contract, so execution order cannot
+// matter).
+type ShardPool struct {
+	n  int
+	fn func(shard int)
+
+	// round is the monotonic round counter workers watch; done counts
+	// shard completions of the current round (reset by Run).
+	round atomic.Uint32
+	done  atomic.Uint32
+
+	// parked counts workers blocked on wake; stopped plus the closed
+	// quit channel end the workers. running tracks Start/Stop state on
+	// the coordinator.
+	parked  atomic.Int32
+	stopped atomic.Bool
+	wake    chan struct{}
+	quit    chan struct{}
+	running bool
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	panicked bool
+	panicV   interface{}
+}
+
+// spinYield and parkAfter shape the worker wait loop: Gosched every
+// spinYield polls (so a spinning worker never starves runnable
+// goroutines, GOMAXPROCS=1 included), park after parkAfter polls
+// (~hundreds of microseconds of idle spinning at most).
+const (
+	spinYield = 16
+	parkAfter = 1 << 13
+)
+
+// NewShardPool returns a pool of n shards (n >= 1). The pool is not
+// started; Run on an unstarted pool executes shards inline.
+func NewShardPool(n int) *ShardPool {
+	if n < 1 {
+		panic(fmt.Sprintf("engine: ShardPool with %d shards", n))
+	}
+	return &ShardPool{n: n}
+}
+
+// Shards returns the pool's shard count.
+func (p *ShardPool) Shards() int { return p.n }
+
+// Start spawns the worker goroutines. Idempotent; Stop reverses it.
+func (p *ShardPool) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.stopped.Store(false)
+	p.wake = make(chan struct{}, 2*p.n)
+	p.quit = make(chan struct{})
+	p.wg.Add(p.n - 1)
+	seen := p.round.Load()
+	for i := 1; i < p.n; i++ {
+		go p.worker(i, seen)
+	}
+}
+
+// Stop joins the worker goroutines. Idempotent; the pool can be
+// started again afterwards. Must not be called while a Run is in
+// flight.
+func (p *ShardPool) Stop() {
+	if !p.running {
+		return
+	}
+	p.stopped.Store(true)
+	close(p.quit)
+	p.wg.Wait()
+	p.running = false
+}
+
+// Run executes fn(shard) for every shard of the pool and returns when
+// all of them finished — the barrier of the sharded kernel phase.
+// Shard 0 runs on the calling goroutine. A panic in any shard is
+// re-raised on the caller after the barrier (first panic wins), so a
+// controller invariant violation surfaces exactly like it does in the
+// serial loop.
+func (p *ShardPool) Run(fn func(shard int)) {
+	if !p.running {
+		for shard := 0; shard < p.n; shard++ {
+			fn(shard)
+		}
+		return
+	}
+	p.fn = fn
+	p.done.Store(0)
+	p.round.Add(1) // publishes fn: workers acquire via the round load
+	// Wake parked workers. A worker parking concurrently with this
+	// load re-checks the round counter after announcing itself parked,
+	// so an undercount here cannot strand it; an overcount only leaves
+	// stale tokens in the buffered channel, causing a benign spurious
+	// wakeup later.
+	if k := p.parked.Load(); k > 0 {
+		for i := int32(0); i < k; i++ {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	p.runShard(0)
+	for spins := 1; p.done.Load() != uint32(p.n-1); spins++ {
+		if spins%spinYield == 0 {
+			runtime.Gosched()
+		}
+	}
+	p.fn = nil
+	p.mu.Lock()
+	r, bad := p.panicV, p.panicked
+	p.panicked, p.panicV = false, nil
+	p.mu.Unlock()
+	if bad {
+		panic(r)
+	}
+}
+
+// worker is the loop of one pool goroutine: wait for a round, run its
+// shard, signal the barrier. seen carries the round counter value at
+// spawn so a restarted pool's workers do not mistake an old round for
+// a new one.
+func (p *ShardPool) worker(shard int, seen uint32) {
+	defer p.wg.Done()
+	for {
+		r, ok := p.awaitRound(seen)
+		if !ok {
+			return
+		}
+		seen = r
+		p.runShard(shard)
+		p.done.Add(1) // releases this shard's writes to the coordinator
+	}
+}
+
+// awaitRound blocks until the round counter moves past seen (spin,
+// then park) or the pool stops.
+func (p *ShardPool) awaitRound(seen uint32) (uint32, bool) {
+	for spins := 1; ; spins++ {
+		if r := p.round.Load(); r != seen {
+			return r, true
+		}
+		if p.stopped.Load() {
+			return 0, false
+		}
+		if spins < parkAfter {
+			if spins%spinYield == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park. Announce first, then re-check: a round published
+		// between the spin's last look and the announcement saw
+		// parked==0 and sent no token, so the re-check must catch it.
+		p.parked.Add(1)
+		if r := p.round.Load(); r != seen || p.stopped.Load() {
+			p.parked.Add(-1)
+			if r != seen {
+				return r, true
+			}
+			return 0, false
+		}
+		select {
+		case <-p.wake:
+		case <-p.quit:
+		}
+		p.parked.Add(-1)
+		spins = 1
+	}
+}
+
+// runShard executes one shard of the current round, converting a
+// panic into recorded state so the barrier is reached regardless and
+// Run can re-raise it on the coordinator.
+func (p *ShardPool) runShard(shard int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if !p.panicked {
+				p.panicked = true
+				p.panicV = r
+			}
+			p.mu.Unlock()
+		}
+	}()
+	p.fn(shard)
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardPoolBarrier proves the barrier: every shard's writes are
+// visible to the caller after Run returns, across many rounds.
+func TestShardPoolBarrier(t *testing.T) {
+	const shards, rounds, perShard = 4, 200, 32
+	p := NewShardPool(shards)
+	p.Start()
+	defer p.Stop()
+
+	sums := make([]uint64, shards*perShard)
+	for round := 0; round < rounds; round++ {
+		p.Run(func(shard int) {
+			for i := shard * perShard; i < (shard+1)*perShard; i++ {
+				sums[i]++
+			}
+		})
+	}
+	for i, v := range sums {
+		if v != rounds {
+			t.Fatalf("slot %d saw %d increments, want %d", i, v, rounds)
+		}
+	}
+}
+
+// TestShardPoolInlineWithoutStart pins the unstarted-pool contract:
+// Run executes every shard on the caller, in ascending order.
+func TestShardPoolInlineWithoutStart(t *testing.T) {
+	p := NewShardPool(3)
+	var order []int
+	p.Run(func(shard int) { order = append(order, shard) })
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("inline run order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestShardPoolPanicPropagates checks that a worker-shard panic is
+// re-raised on the coordinator after the barrier, and that the pool
+// survives for further rounds.
+func TestShardPoolPanicPropagates(t *testing.T) {
+	p := NewShardPool(4)
+	p.Start()
+	defer p.Stop()
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic in shard 2 did not propagate")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+		}()
+		p.Run(func(shard int) {
+			if shard == 2 {
+				panic("boom in shard 2")
+			}
+		})
+	}()
+
+	// The pool must still work after a panicked round.
+	n := make([]int, 4)
+	p.Run(func(shard int) { n[shard] = shard + 1 })
+	for i, v := range n {
+		if v != i+1 {
+			t.Fatalf("post-panic round: shard %d wrote %d", i, v)
+		}
+	}
+}
+
+// TestShardPoolRestart exercises Stop/Start cycles — advanceKernel
+// starts and stops the pool once per Advance chunk.
+func TestShardPoolRestart(t *testing.T) {
+	p := NewShardPool(2)
+	for cycle := 0; cycle < 3; cycle++ {
+		p.Start()
+		hits := make([]int, 2)
+		p.Run(func(shard int) { hits[shard]++ })
+		p.Stop()
+		p.Stop() // idempotent
+		if hits[0] != 1 || hits[1] != 1 {
+			t.Fatalf("cycle %d: hits = %v", cycle, hits)
+		}
+	}
+	if p.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", p.Shards())
+	}
+}

@@ -2,7 +2,9 @@
 // suite: maprange (no map-iteration order leaks), nodeterm (no
 // ambient nondeterminism sources), epochbump (dram timing mutations
 // bump their constraint epoch), horizonarm (horizon-moving entry
-// points re-arm the kernel wake-up queue). cmd/mclint drives the
+// points re-arm the kernel wake-up queue), shardsafe (shard-confined
+// kernel code neither calls merge-only primitives nor writes package
+// globals). cmd/mclint drives the
 // suite over package patterns; selfcheck_test.go keeps the module
 // clean from `go test ./...`; the testdata/broken fixtures prove each
 // analyzer still fires.
@@ -18,6 +20,7 @@ import (
 	"cloudmc/internal/lint/loader"
 	"cloudmc/internal/lint/maprange"
 	"cloudmc/internal/lint/nodeterm"
+	"cloudmc/internal/lint/shardsafe"
 )
 
 // Analyzers returns the suite in its fixed reporting order.
@@ -27,6 +30,7 @@ func Analyzers() []*analysis.Analyzer {
 		nodeterm.Analyzer,
 		epochbump.Analyzer,
 		horizonarm.Analyzer,
+		shardsafe.Analyzer,
 	}
 }
 

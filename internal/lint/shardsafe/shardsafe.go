@@ -1,0 +1,231 @@
+// Package shardsafe guards the shard-ownership discipline of the
+// parallel kernel (cloudmc/internal/core, see shard.go): a function
+// marked with a //mclint:shard directive runs concurrently on pool
+// workers during the sharded controller phase, so it — and everything
+// it reaches through same-package calls, function literals included —
+// may write only shard-owned state. Two violation classes are
+// statically checkable and flagged:
+//
+//  1. a call to a function marked //mclint:merge-only (the
+//     coordinator-side primitives that mutate shared structures:
+//     scheduleFill, armFill, notifyCtrl in internal/core) — deferred
+//     effects must be buffered per shard and merged after the
+//     barrier, never applied from inside a shard body;
+//  2. a write to a package-level variable (same-package or through an
+//     imported package's selector) — package globals are by
+//     definition not shard-owned.
+//
+// Per-index field ownership (shard i writes only slots i mod workers)
+// is a dynamic property the race detector covers; this analyzer binds
+// the static half of the contract so a refactor that routes a shard
+// body into a merge-only primitive fails lint before it ever runs.
+//
+// A deliberate exception is suppressed on the offending line (or the
+// line above) with //mclint:shard-ok, e.g. a branch that is provably
+// unreachable while sharding is active.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cloudmc/internal/lint/analysis"
+)
+
+// Analyzer is the shardsafe shard-confinement check.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc: "forbids //mclint:shard functions (and their same-package call closure) from calling " +
+		"//mclint:merge-only primitives or writing package-level variables; suppress a deliberate " +
+		"exception with //mclint:shard-ok",
+	Run: run,
+}
+
+// violation is one candidate finding inside a function body; it is
+// reported only if the function turns out to be reachable from a
+// shard root. Suppression is already resolved at collection time.
+type violation struct {
+	pos token.Pos
+	msg string // violation text; the reporting root is appended
+}
+
+// funcFacts is what one function body contributes to the closure.
+type funcFacts struct {
+	decl       *ast.FuncDecl
+	callees    []*types.Func
+	violations []violation
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: index every declared function and resolve which
+	// carry the merge-only marker, so call sites can be classified.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	mergeOnly := make(map[*types.Func]bool)
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			order = append(order, obj)
+			if pass.Suppressed(fd, "merge-only") {
+				mergeOnly[obj] = true
+			}
+		}
+	}
+
+	// Second pass: collect per-function facts (callees and candidate
+	// violations).
+	facts := make(map[*types.Func]*funcFacts)
+	for _, obj := range order {
+		facts[obj] = collect(pass, decls[obj], mergeOnly)
+	}
+
+	// Report each violation once, attributed to the first shard root
+	// (in declaration order) whose closure reaches it.
+	reported := make(map[token.Pos]bool)
+	for _, obj := range order {
+		ff := facts[obj]
+		if !pass.Suppressed(ff.decl, "shard") {
+			continue
+		}
+		visited := make(map[*types.Func]bool)
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			if visited[fn] {
+				return
+			}
+			visited[fn] = true
+			cf, ok := facts[fn]
+			if !ok {
+				return
+			}
+			for _, v := range cf.violations {
+				if reported[v.pos] {
+					continue
+				}
+				reported[v.pos] = true
+				pass.Reportf(v.pos, "%s (in the shard-confined closure of %s)", v.msg, obj.Name())
+			}
+			for _, c := range cf.callees {
+				visit(c)
+			}
+		}
+		visit(obj)
+	}
+	return nil
+}
+
+// collect walks one function body (including its function literals)
+// and records same-package callees plus candidate violations.
+// Suppression (//mclint:shard-ok) is resolved here, at the site.
+func collect(pass *analysis.Pass, fd *ast.FuncDecl, mergeOnly map[*types.Func]bool) *funcFacts {
+	ff := &funcFacts{decl: fd}
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(pass, s)
+			if callee == nil {
+				return true
+			}
+			if mergeOnly[callee] && !pass.Suppressed(s, "shard-ok") {
+				ff.violations = append(ff.violations, violation{
+					pos: s.Pos(),
+					msg: "call to merge-only " + callee.Name() +
+						" — buffer the effect per shard and apply it after the barrier",
+				})
+			}
+			// Merge-only bodies never join the shard closure: the
+			// call site itself is the finding (or its suppression),
+			// and their internals are coordinator code by declaration.
+			if callee.Pkg() == pass.Pkg && !mergeOnly[callee] && !seen[callee] {
+				seen[callee] = true
+				ff.callees = append(ff.callees, callee)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				noteWrite(pass, ff, s, lhs)
+			}
+		case *ast.IncDecStmt:
+			noteWrite(pass, ff, s, s.X)
+		}
+		return true
+	})
+	return ff
+}
+
+// noteWrite flags stmt if the assignment target expr resolves to a
+// package-level variable (unwrapping indexing, dereference and field
+// selection down to the base object).
+func noteWrite(pass *analysis.Pass, ff *funcFacts, stmt ast.Node, expr ast.Expr) {
+	v := baseVar(pass, expr)
+	if v == nil || v.Parent() == nil {
+		return
+	}
+	// Package-level: the variable's scope is some package scope —
+	// this package's or, via a qualified selector, an imported one.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	if pass.Suppressed(stmt, "shard-ok") {
+		return
+	}
+	ff.violations = append(ff.violations, violation{
+		pos: stmt.Pos(),
+		msg: "write to package-level variable " + v.Name() + " — shard bodies may write only shard-owned state",
+	})
+}
+
+// baseVar unwraps an assignment target to the variable object it
+// roots in, following x[i], *x, (x) and x.f chains. A selector whose
+// base is an imported package yields that package's variable.
+func baseVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					v, _ := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+					return v
+				}
+			}
+			expr = e.X
+			continue
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeOf resolves a call expression to its statically-known callee.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/shardsafe"
+)
+
+func TestShardRules(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("shard"), shardsafe.Analyzer)
+}

@@ -1,0 +1,69 @@
+// Package shard is the shardsafe fixture: shard-confined roots that
+// leak into merge-only primitives or package globals, next to
+// coordinator code that does the same things legitimately.
+package shard
+
+// tally is a package-level mutable: off-limits to shard bodies.
+var tally int
+
+// limits is package-level too; writes through an index are still
+// writes to it.
+var limits = make([]uint64, 8)
+
+type system struct {
+	wake  []uint64
+	fill  [][]uint64
+	fillq []uint64
+}
+
+// scheduleFill mutates the shared fill queue and may only run on the
+// coordinator, after the barrier.
+//
+//mclint:merge-only
+func (s *system) scheduleFill(at uint64) {
+	s.fillq = append(s.fillq, at)
+}
+
+// notifyCtrl re-arms the coordinator-owned wake-up queue.
+//
+//mclint:merge-only
+func (s *system) notifyCtrl(ch int) {}
+
+// tickShard is a shard root: its own body writes only shard-owned
+// slots, but the helper it calls does not.
+//
+//mclint:shard
+func (s *system) tickShard(shard int, now uint64) {
+	s.wake[shard] = now // shard-owned slot: fine
+	s.helper(shard, now)
+}
+
+// helper is reached transitively from the tickShard root, so its
+// violations are attributed to that closure.
+func (s *system) helper(ch int, now uint64) {
+	tally++             // want `write to package-level variable tally`
+	limits[ch] = now    // want `write to package-level variable limits`
+	s.scheduleFill(now) // want `call to merge-only scheduleFill`
+}
+
+// merge is coordinator code — not a shard root, not reached from one
+// — so the very same operations are legal here.
+func (s *system) merge(now uint64) {
+	tally++
+	s.scheduleFill(now)
+	s.notifyCtrl(0)
+}
+
+// tickDirect exercises the in-body cases and the shard-ok escape
+// hatch, including through a function literal (literals belong to
+// their enclosing declaration's closure).
+//
+//mclint:shard
+func (s *system) tickDirect(shard int, now uint64) {
+	s.fill[shard] = append(s.fill[shard], now) // shard-owned slot: fine
+	s.notifyCtrl(shard)                        //mclint:shard-ok -- fixture: deliberate, justified exception
+	f := func() {
+		s.scheduleFill(now) // want `call to merge-only scheduleFill`
+	}
+	f()
+}

@@ -1,0 +1,27 @@
+// Package shard is a deliberately-broken fixture: the CI smoke step
+// runs mclint over it and asserts shardsafe fires. It must compile;
+// it must NOT be fixed.
+package shard
+
+// fills is a package-level mutable no shard body may write.
+var fills int
+
+type system struct{ fillq []uint64 }
+
+// scheduleFill may only run on the coordinator, after the barrier.
+//
+//mclint:merge-only
+func (s *system) scheduleFill(at uint64) {
+	s.fillq = append(s.fillq, at)
+	fills++
+}
+
+// TickShard leaks both ways: it applies a merge-only effect from
+// inside the shard body and bumps a package global. shardsafe must
+// flag both.
+//
+//mclint:shard
+func (s *system) TickShard(shard int, now uint64) {
+	s.scheduleFill(now)
+	fills++
+}

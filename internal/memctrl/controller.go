@@ -140,6 +140,15 @@ type completion struct {
 // For precharges the command's Loc.Row is the row being closed.
 // Reads forwarded from the write queue never touch DRAM and are
 // therefore not traced.
+//
+// Under the sharded kernel (core.Config.Workers > 1) controllers of
+// different channels tick concurrently, so an implementation shared
+// across channels must be safe for concurrent Command calls
+// (obs.TraceWriter locks internally). Calls for one channel are
+// always serialized; cross-channel line order in a shared sink is
+// scheduling-dependent, which is why consumers sort by the
+// documented (cycle, channel) key — a total order, since a
+// controller issues at most one command per cycle.
 type CommandTrace interface {
 	Command(now uint64, cmd dram.Command, tenant int)
 }
@@ -596,6 +605,14 @@ func (c *Controller) setPendingClose(idx int, v bool) {
 // the queue contents, bank states, drain mode and policy state are all
 // provably unchanged, and the skipped queue-occupancy samples are
 // recovered exactly by the time-weighted trackers.
+//
+// Tick confines itself to this controller's state (its channel, banks,
+// queues, policy, trackers) plus the OnDone and trace callbacks — the
+// property that lets the sharded kernel tick controllers of different
+// channels concurrently. Anything new reaching shared state from
+// inside Tick must go through a per-channel buffer the way OnDone
+// completions do (core's fill buffering), or lock like
+// obs.TraceWriter.
 func (c *Controller) Tick(now uint64) {
 	if c.fastPath && now < c.wakeAt && (len(c.inflight) == 0 || c.inflight[0].at > now) {
 		return

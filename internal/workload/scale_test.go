@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+// TestWithCores pins the scaling-profile constructor: core count and
+// labels change, everything else is untouched, and the receiver is
+// not mutated.
+func TestWithCores(t *testing.T) {
+	base := DataServing()
+	p := base.WithCores(256)
+	if p.Cores != 256 {
+		t.Fatalf("Cores = %d, want 256", p.Cores)
+	}
+	if p.Acronym != "DS-256c" {
+		t.Fatalf("Acronym = %q, want DS-256c", p.Acronym)
+	}
+	if base.Cores != DataServing().Cores || base.Acronym != "DS" {
+		t.Fatal("WithCores mutated its receiver")
+	}
+	p.Cores = base.Cores
+	p.Acronym = base.Acronym
+	p.Name = base.Name
+	if err := p.Validate(); err != nil {
+		t.Fatalf("scaled profile invalid: %v", err)
+	}
+	if got := DataServing256(); got.Cores != 256 || got.Acronym != "DS-256c" {
+		t.Fatalf("DataServing256 = %d cores %q", got.Cores, got.Acronym)
+	}
+}
