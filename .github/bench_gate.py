@@ -30,8 +30,13 @@ Usage: bench_gate.py base.txt head.txt [threshold]
              (default 1.10 = 10% slower)
 
 Scaling report only: bench_gate.py --scaling head.txt
-  prints the workers=N report for one bench file (no base needed);
-  always exits 0.
+  prints the workers=N report plus the allocs/op column for one bench
+  file (no base needed); always exits 0.
+
+With -benchmem output, an allocs/op column is printed alongside the
+gate. It is informational and never affects the verdict: the ns/op
+geomean is the gate, but a hot path that starts allocating shows up in
+the column before it costs enough wall time to trip it.
 
 Self-test: bench_gate.py --self-test
   exercises the parser and every edge case above on synthetic files;
@@ -46,6 +51,8 @@ import sys
 import tempfile
 
 LINE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op")
+# -benchmem appends "B/op" and "allocs/op" columns to the same line.
+ALLOCS = re.compile(r"\s([0-9.]+(?:e[+-]?\d+)?) allocs/op")
 # A scaling variant: .../workers=N, with go test's -GOMAXPROCS suffix.
 WORKERS = re.compile(r"^(Benchmark\S+?)/workers=(\d+)(?:-\d+)?$")
 
@@ -59,6 +66,49 @@ def medians(path):
             if m:
                 samples.setdefault(m.group(1), []).append(float(m.group(2)))
     return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def alloc_medians(path):
+    """Parse -benchmem allocs/op into {benchmark name: median allocs/op}.
+
+    Empty when the file was produced without -benchmem; allocations are
+    reported, never gated (see allocs_report).
+    """
+    samples = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if not m:
+                continue
+            a = ALLOCS.search(line)
+            if a:
+                samples.setdefault(m.group(1), []).append(float(a.group(1)))
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def allocs_report(base, head):
+    """Print the allocs/op column for parsed alloc medians.
+
+    Informational only (always returns 0): the ns/op geomean is the
+    gate, but a hot path that starts allocating shows up here before it
+    costs enough time to trip it. base may be empty (no -benchmem run,
+    or standalone mode); entries missing on either side print one-sided.
+    """
+    names = sorted(set(base) | set(head))
+    if not names:
+        print("\nallocs/op: no -benchmem data found")
+        return 0
+    print("\nallocs/op (informational, never gated):")
+    for name in names:
+        if name in base and name in head:
+            delta = head[name] - base[name]
+            print(f"  {name}: {base[name]:.0f} -> {head[name]:.0f}"
+                  f" allocs/op ({delta:+.0f})")
+        elif name in head:
+            print(f"  {name}: {head[name]:.0f} allocs/op (head only)")
+        else:
+            print(f"  {name}: {base[name]:.0f} allocs/op (base only)")
+    return 0
 
 
 def scaling_report(head):
@@ -98,6 +148,7 @@ def gate(base_path, head_path, threshold):
     base = medians(base_path)
     head = medians(head_path)
     scaling_report(head)
+    allocs_report(alloc_medians(base_path), alloc_medians(head_path))
 
     head_only = sorted(set(head) - set(base))
     base_only = sorted(set(base) - set(head))
@@ -199,6 +250,29 @@ def self_test():
     finally:
         os.unlink(scaled_file)
         os.unlink(plain_file)
+    # 10. -benchmem columns parse into the allocs report and a large
+    # alloc increase never changes the gate verdict — ns/op gates,
+    # allocations only report.
+    membase = ["BenchmarkX/a 100 50.0 ns/op 128 B/op 0 allocs/op",
+               "BenchmarkX/b 100 80.0 ns/op 64 B/op 2 allocs/op"]
+    memhead = ["BenchmarkX/a 100 50.0 ns/op 4096 B/op 37 allocs/op",
+               "BenchmarkX/b 100 80.0 ns/op 64 B/op 2 allocs/op"]
+    check("alloc increase never gates", run(membase, memhead), 0)
+    mem_file = bench_file(memhead)
+    plain_file = bench_file(b)
+    try:
+        parsed = alloc_medians(mem_file)
+        got = 0 if parsed == {"BenchmarkX/a": 37.0, "BenchmarkX/b": 2.0} else 1
+        check("benchmem columns parse", got, 0)
+        check("no benchmem data tolerated", 0 if alloc_medians(plain_file) == {} else 1, 0)
+        check("standalone allocs report", allocs_report({}, parsed), 0)
+        check("allocs report, no data", allocs_report({}, {}), 0)
+    finally:
+        os.unlink(mem_file)
+        os.unlink(plain_file)
+    # 11. A benchmem head against a plain base prints one-sided, still
+    # gated only on ns/op.
+    check("mixed benchmem/plain pair", run(b, memhead), 0)
 
     if failures:
         print(f"self-test FAILED: {', '.join(failures)}")
@@ -211,7 +285,8 @@ def main():
     if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
         sys.exit(self_test())
     if len(sys.argv) == 3 and sys.argv[1] == "--scaling":
-        sys.exit(scaling_report(medians(sys.argv[2])))
+        scaling_report(medians(sys.argv[2]))
+        sys.exit(allocs_report({}, alloc_medians(sys.argv[2])))
     if len(sys.argv) < 3:
         sys.exit(__doc__)
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10

@@ -347,6 +347,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			})
 		}
 	}
+
+	// Deep-queue variant: the 256-core 8-channel profile with the MSHR
+	// cap lifted far above the default and the per-controller queues
+	// widened to match, so the controllers actually run with long
+	// resident queues instead of convoying on miss slots. This is the
+	// regime the incremental candidate-group index exists for — the
+	// per-tick option build used to be O(queue) here — and the profile
+	// the bench gate watches for the O(changes) claim at system level.
+	deep := workload.DataServing256()
+	deep.Acronym = "DS-256c-deep"
+	b.Run(deep.Acronym+"/ch8/workers=1", func(b *testing.B) {
+		cfg := core.DefaultConfig(deep)
+		cfg.Channels = 8
+		cfg.MSHRCap = 1024
+		cfg.MC.ReadQueueCap = 256
+		cfg.MC.WriteQueueCap = 256
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.FunctionalWarmup(0)
+		b.ResetTimer()
+		sys.Advance(uint64(b.N))
+	})
 }
 
 // BenchmarkObsOverhead measures the cost of the observability stack
@@ -438,6 +462,73 @@ func BenchmarkControllerParkReArm(b *testing.B) {
 				ctl.Tick(now)
 			}
 		}
+	}
+}
+
+// BenchmarkBuildOptions isolates the busy-path option builder: a
+// controller with a standing read queue ticks under FR-FCFS, issuing
+// one command per cycle while enqueues keep the queue at a fixed
+// depth — the steady-state busy regime where the per-tick candidate
+// grouping dominates. q48 fits the default queue caps; q224 is the
+// deep-queue variant (the hyperscale regime ISSUE 9 targets), where
+// rebuilding the group table per tick costs O(queue) but the actual
+// change per tick is one dequeue plus one enqueue. Requests spread
+// over every bank with a few rows per bank, so the option set holds a
+// realistic mix of activates, row hits and conflicts. allocs/op is
+// reported: the steady-state busy path is expected to run
+// allocation-free.
+func BenchmarkBuildOptions(b *testing.B) {
+	geo := dram.Geometry{Channels: 1, Ranks: 4, Banks: 8, Rows: 1 << 14, Columns: 64, BlockBytes: 64}
+	src := memctrl.Source{Core: 1, Tenant: -1}
+	for _, depth := range []int{48, 224} {
+		depth := depth
+		b.Run("q"+itoa(depth), func(b *testing.B) {
+			cfg := memctrl.DefaultConfig()
+			cfg.ReadQueueCap = depth + 16
+			cfg.WriteQueueCap = depth + 16
+			cfg.WriteHi = depth
+			cfg.WriteLo = depth / 4
+			ch := dram.NewChannel(0, geo, dram.DDR3_1600())
+			pol := sched.NewFactoryOpts(sched.FRFCFS, sched.Opts{Cores: 16})(0)
+			ctl, err := memctrl.New(cfg, ch, pol, pagepolicy.NewOpenAdaptive())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl.SetFastForward(true)
+			banks := geo.Ranks * geo.Banks
+			seq := 0
+			enq := func(now uint64) bool {
+				loc := dram.Location{
+					Channel: 0,
+					Rank:    (seq % banks) / geo.Banks,
+					Bank:    seq % geo.Banks,
+					Row:     (seq / banks) % 4,
+					Column:  seq % geo.Columns,
+				}
+				ok := ctl.EnqueueRead(now, src, uint64(seq)<<6, loc, memctrl.ReadDemand, nil)
+				if ok {
+					seq++
+				}
+				return ok
+			}
+			now := uint64(0)
+			for r, _ := ctl.QueueLens(); r < depth; r, _ = ctl.QueueLens() {
+				if !enq(now) {
+					b.Fatal("could not pre-fill the read queue")
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.Tick(now)
+				now++
+				for r, _ := ctl.QueueLens(); r < depth; r, _ = ctl.QueueLens() {
+					if !enq(now) {
+						break
+					}
+				}
+			}
+		})
 	}
 }
 

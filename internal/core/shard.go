@@ -153,14 +153,22 @@ func (s *System) mergeCtrlPhase(now uint64) bool {
 // kernel mode — the serial kernel buffers through the same path so
 // workers=1 and workers=N share one semantics.
 func (s *System) drainFillBufs() {
+	merged := false
 	for ch := range s.fillBuf {
 		buf := s.fillBuf[ch]
 		if len(buf) == 0 {
 			continue
 		}
 		for _, f := range buf {
-			s.scheduleFill(f.at, f.e)
+			s.insertFill(f.at, f.e)
 		}
 		s.fillBuf[ch] = buf[:0]
+		merged = true
+	}
+	if merged {
+		// One re-arm for the whole batch: arming depends only on the
+		// final queue head, so this is exactly the state per-insert
+		// arming would have left.
+		s.armFill()
 	}
 }

@@ -16,11 +16,17 @@ import (
 )
 
 // mshrEntry tracks one outstanding LLC miss and its merged waiters.
+// Entries are recycled through System.freeMSHR; ch and onDone exist
+// so one closure per entry serves every life (the closure reads ch at
+// fire time, and an entry is only recycled after its fill delivered,
+// when no controller holds the closure any more).
 type mshrEntry struct {
 	addr   uint64
 	tenant int   // owning tenant (fills respect LLC way partitions)
+	ch     int   // channel serving the current miss
 	loads  []int // cores blocked on a load of this block
 	stores []int // cores with a buffered store to this block
+	onDone func(uint64)
 }
 
 // pendingWrite is a writeback waiting for write-queue space.
@@ -122,6 +128,12 @@ type System struct {
 	ioq       []pendingIO
 	fillq     []delayedFill
 	blockMask uint64
+
+	// freeMSHR recycles miss entries: a filled entry goes back on the
+	// list and the next primary miss reuses it — struct, waiter
+	// slices, and its OnDone closure (created once per entry), so the
+	// steady-state miss path allocates nothing.
+	freeMSHR []*mshrEntry
 
 	// measurement
 	demandMisses uint64
@@ -384,18 +396,18 @@ func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessR
 	if store {
 		kind = memctrl.ReadStore
 	}
-	e := &mshrEntry{addr: addr, tenant: ten}
+	e := s.newMSHREntry(addr, ten, loc.Channel)
 	if store {
 		e.stores = append(e.stores, core)
 	} else {
 		e.loads = append(e.loads, core)
 	}
 	// The fixed on-chip path latency is charged by queueing the fill
-	// for MemPathLatency cycles after the data leaves the controller.
-	ok := s.ctrls[loc.Channel].EnqueueRead(now, memctrl.Source{Core: core, Tenant: ten}, addr, loc, kind, func(at uint64) {
-		s.completeFill(loc.Channel, at+uint64(s.cfg.MemPathLatency), e)
-	})
+	// for MemPathLatency cycles after the data leaves the controller
+	// (folded in by e.onDone).
+	ok := s.ctrls[loc.Channel].EnqueueRead(now, memctrl.Source{Core: core, Tenant: ten}, addr, loc, kind, e.onDone)
 	if !ok {
+		s.freeMSHR = append(s.freeMSHR, e)
 		return cpu.AccessResult{Rejected: true}
 	}
 	s.notifyCtrl(loc.Channel, now)
@@ -432,6 +444,18 @@ func (s *System) completeFill(ch int, at uint64, e *mshrEntry) {
 //
 //mclint:merge-only
 func (s *System) scheduleFill(at uint64, e *mshrEntry) {
+	s.insertFill(at, e)
+	s.armFill()
+}
+
+// insertFill places one completed read into the fill queue (insertion
+// sort, stable in arrival order for equal cycles; the queue is bounded
+// by the MSHR capacity) without touching the wake-up queue — batch
+// callers arm once after the last insert. Merge-only under the
+// sharded kernel: it mutates the shared fill queue.
+//
+//mclint:merge-only
+func (s *System) insertFill(at uint64, e *mshrEntry) {
 	i := len(s.fillq)
 	s.fillq = append(s.fillq, delayedFill{})
 	for i > 0 && s.fillq[i-1].at > at {
@@ -439,7 +463,6 @@ func (s *System) scheduleFill(at uint64, e *mshrEntry) {
 		i--
 	}
 	s.fillq[i] = delayedFill{at: at, e: e}
-	s.armFill()
 }
 
 // deliverFills applies all fills due by `now`.
@@ -469,6 +492,30 @@ func (s *System) fill(now uint64, e *mshrEntry) {
 		s.installL1(now, c, e.addr, true)
 		s.cores[c].StoreDrained(now)
 	}
+	// The entry left the table and the fill queue, and its closure
+	// fired before the fill was scheduled — nothing references it now.
+	s.freeMSHR = append(s.freeMSHR, e)
+}
+
+// newMSHREntry takes a miss entry from the free list (or allocates
+// one) for a primary miss on addr served by channel ch. The waiter
+// slices keep their capacity across lives, and the OnDone closure is
+// created once per entry — it reads e.ch at fire time, so reuse needs
+// no new closure.
+func (s *System) newMSHREntry(addr uint64, ten, ch int) *mshrEntry {
+	if n := len(s.freeMSHR); n > 0 {
+		e := s.freeMSHR[n-1]
+		s.freeMSHR[n-1] = nil
+		s.freeMSHR = s.freeMSHR[:n-1]
+		e.addr, e.tenant, e.ch = addr, ten, ch
+		e.loads, e.stores = e.loads[:0], e.stores[:0]
+		return e
+	}
+	e := &mshrEntry{addr: addr, tenant: ten, ch: ch}
+	e.onDone = func(at uint64) {
+		s.completeFill(e.ch, at+uint64(s.cfg.MemPathLatency), e)
+	}
+	return e
 }
 
 // installL1 puts a block in a core's L1, pushing any dirty victim down

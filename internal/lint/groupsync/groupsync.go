@@ -1,0 +1,170 @@
+// Package groupsync guards the candidate-group index maintenance
+// contract of cloudmc/internal/memctrl: the controller keeps one live
+// group entry per (bankIdx, row) — the input of buildOptions —
+// updated incrementally as requests enter and leave the queues. Any
+// function that changes queue membership (the readQ/writeQ slices or
+// a bankQueue's reads/writes bucket) or flips the write-drain mode
+// MUST update the index in the same function, by calling one of the
+// maintenance entry points (groupNote, groupRemove, groupEnqueue,
+// groupFold) or rebuilding the option set (buildOptions, which folds
+// pending updates). Otherwise the index silently diverges from the
+// queues and the incremental option builder emits a stale candidate
+// set — a divergence only the differential suites would catch, one
+// randomized stream too late.
+//
+// The group type's own reads/writes lists are deliberately outside
+// the contract: mutating them IS the index maintenance.
+package groupsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cloudmc/internal/lint/analysis"
+)
+
+// Analyzer is the groupsync maintenance-contract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "groupsync",
+	Doc: "requires every function in cloudmc/internal/memctrl that mutates queue membership " +
+		"(readQ/writeQ, bankQueue reads/writes) or the write-drain mode to update the " +
+		"candidate-group index in the same function",
+	Run: run,
+}
+
+// guarded maps a memctrl type name to the fields whose mutation (or
+// address-taking — removeRequest edits the queues through pointers)
+// requires index maintenance in the same function.
+var guarded = map[string]map[string]bool{
+	"Controller": {"readQ": true, "writeQ": true, "writeMode": true},
+	"bankQueue":  {"reads": true, "writes": true},
+}
+
+// syncCalls are the maintenance entry points that discharge the
+// obligation.
+var syncCalls = map[string]bool{
+	"groupNote":    true,
+	"groupRemove":  true,
+	"groupEnqueue": true,
+	"groupFold":    true,
+	"buildOptions": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.EffectivePath() != "cloudmc/internal/memctrl" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if syncCalls[fd.Name.Name] {
+				continue // the maintenance paths themselves
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var firstMut token.Pos
+	var mutDesc string
+	synced := false
+
+	note := func(expr ast.Expr) {
+		tname, field, ok := guardedTarget(pass, expr)
+		if !ok {
+			return
+		}
+		if firstMut == token.NoPos {
+			firstMut = expr.Pos()
+			mutDesc = tname + "." + field
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(s.X)
+		case *ast.UnaryExpr:
+			// Taking a guarded field's address hands out mutable
+			// access (the queue-removal helpers work through
+			// pointers), so it carries the same obligation.
+			if s.Op == token.AND {
+				note(s.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && syncCalls[sel.Sel.Name] {
+				synced = true
+			}
+		}
+		return true
+	})
+
+	if firstMut == token.NoPos || synced {
+		return
+	}
+	if pass.Suppressed(fd, "allow groupsync") {
+		return
+	}
+	pass.Reportf(firstMut, "%s mutates %s but never updates the candidate-group index "+
+		"(groupNote/groupRemove/groupEnqueue/groupFold, or a rebuild via buildOptions) in the "+
+		"same function; the incremental option builder would emit a stale candidate set "+
+		"(see the groups.go maintenance contract)",
+		fd.Name.Name, mutDesc)
+}
+
+// guardedTarget resolves an expression to (type name, field name)
+// when it is a selector — possibly through indexing or pointer
+// dereference — on a value of one of the guarded types declared in
+// this package.
+func guardedTarget(pass *analysis.Pass, expr ast.Expr) (tname, field string, ok bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	name := named.Obj().Name()
+	fields, tracked := guarded[name]
+	if !tracked || !fields[sel.Sel.Name] {
+		return "", "", false
+	}
+	// Only this package's types: a Controller imported from elsewhere
+	// is not under this package's maintenance contract.
+	if named.Obj().Pkg() != pass.Pkg {
+		return "", "", false
+	}
+	return name, sel.Sel.Name, true
+}

@@ -1,0 +1,12 @@
+package groupsync_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/groupsync"
+)
+
+func TestGroupsync(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("memctrl"), groupsync.Analyzer)
+}

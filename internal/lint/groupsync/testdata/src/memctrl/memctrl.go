@@ -1,0 +1,116 @@
+// Package memctrl is the groupsync analyzer fixture: a miniature of
+// the real cloudmc/internal/memctrl controller (same type and field
+// names) with queue mutators that maintain the candidate-group index,
+// mutators that forget, and mutations outside the contract.
+package memctrl
+
+// Request mirrors the real queued request.
+type Request struct {
+	ID   uint64
+	Addr uint64
+}
+
+// bankQueue mirrors the guarded per-bank buckets; groups is outside
+// the contract (it IS the index).
+type bankQueue struct {
+	reads  []*Request
+	writes []*Request
+	groups []int32
+	seq    uint64
+}
+
+// group mirrors the real group entry: its reads/writes lists share
+// field names with bankQueue but are NOT guarded — mutating them is
+// the index maintenance itself.
+type group struct {
+	reads  []*Request
+	writes []*Request
+}
+
+// Controller mirrors the guarded queue fields plus index state.
+type Controller struct {
+	readQ     []*Request
+	writeQ    []*Request
+	writeMode bool
+
+	bankQ      []bankQueue
+	grp        []group
+	grpPending []*Request
+	view       int
+}
+
+func (c *Controller) groupNote(r *Request)   { c.grpPending = append(c.grpPending, r) }
+func (c *Controller) groupRemove(r *Request) {}
+func (c *Controller) groupFold()             {}
+func (c *Controller) buildOptions(now uint64, mixed bool) {
+	c.groupFold()
+	c.view++
+}
+
+// enqueueGood mutates queue membership and files the request with the
+// index in the same function.
+func (c *Controller) enqueueGood(r *Request) {
+	c.readQ = append(c.readQ, r)
+	bk := &c.bankQ[0]
+	bk.reads = append(bk.reads, r)
+	bk.seq++
+	c.groupNote(r)
+}
+
+// enqueueBad mutates queue membership without updating the index.
+func (c *Controller) enqueueBad(r *Request) {
+	c.readQ = append(c.readQ, r) // want `enqueueBad mutates Controller.readQ but never updates the candidate-group index`
+	bk := &c.bankQ[0]
+	bk.reads = append(bk.reads, r)
+}
+
+// bucketBad mutates a bank bucket without updating the index.
+func (c *Controller) bucketBad(r *Request) {
+	c.bankQ[0].writes = append(c.bankQ[0].writes, r) // want `bucketBad mutates bankQueue.writes but never updates the candidate-group index`
+}
+
+// removeGood edits the queues through pointers (address-taking), with
+// the index updated alongside.
+func (c *Controller) removeGood(r *Request) {
+	q := &c.readQ
+	c.groupRemove(r)
+	*q = (*q)[:len(*q)-1]
+}
+
+// removeBad hands out mutable queue access without any maintenance.
+func (c *Controller) removeBad(r *Request) {
+	q := &c.writeQ // want `removeBad mutates Controller.writeQ but never updates the candidate-group index`
+	*q = (*q)[:len(*q)-1]
+}
+
+// flipGood flips drain mode and rebuilds the option set.
+func (c *Controller) flipGood(now uint64) {
+	c.writeMode = !c.writeMode
+	c.buildOptions(now, false)
+}
+
+// flipBad flips drain mode with no rebuild.
+func (c *Controller) flipBad() {
+	c.writeMode = !c.writeMode // want `flipBad mutates Controller.writeMode but never updates the candidate-group index`
+}
+
+// groupListsFree mutates a group's own lists: index maintenance
+// itself, outside the contract.
+func (c *Controller) groupListsFree(r *Request) {
+	g := &c.grp[0]
+	g.reads = append(g.reads, r)
+	g.writes = g.writes[:0]
+}
+
+// seqFree mutates only unguarded bookkeeping.
+func (c *Controller) seqFree() {
+	c.bankQ[0].seq++
+	c.view = 0
+}
+
+// suppressed documents why it is exempt.
+//
+//mclint:allow groupsync -- fixture: stats-only reslice audited by hand
+func (c *Controller) suppressed() {
+	c.readQ = c.readQ[:0]
+}

@@ -4,7 +4,8 @@
 // bump their constraint epoch), horizonarm (horizon-moving entry
 // points re-arm the kernel wake-up queue), shardsafe (shard-confined
 // kernel code neither calls merge-only primitives nor writes package
-// globals). cmd/mclint drives the
+// globals), groupsync (memctrl queue-membership mutations update the
+// incremental candidate-group index). cmd/mclint drives the
 // suite over package patterns; selfcheck_test.go keeps the module
 // clean from `go test ./...`; the testdata/broken fixtures prove each
 // analyzer still fires.
@@ -16,6 +17,7 @@ import (
 
 	"cloudmc/internal/lint/analysis"
 	"cloudmc/internal/lint/epochbump"
+	"cloudmc/internal/lint/groupsync"
 	"cloudmc/internal/lint/horizonarm"
 	"cloudmc/internal/lint/loader"
 	"cloudmc/internal/lint/maprange"
@@ -31,6 +33,7 @@ func Analyzers() []*analysis.Analyzer {
 		epochbump.Analyzer,
 		horizonarm.Analyzer,
 		shardsafe.Analyzer,
+		groupsync.Analyzer,
 	}
 }
 

@@ -1,18 +1,22 @@
 // Package memctrl is a deliberately-broken fixture: the CI smoke step
-// runs mclint over it and asserts horizonarm fires. It must compile;
-// it must NOT be fixed.
+// runs mclint over it and asserts horizonarm and groupsync fire. It
+// must compile; it must NOT be fixed.
 package memctrl
 
 // Request is a minimal request.
 type Request struct{ Addr uint64 }
 
-// Controller carries the queues and the horizon the linter guards.
+// Controller carries the queues, the horizon and the group index the
+// linters guard.
 type Controller struct {
 	readQ  []*Request
+	writeQ []*Request
 	wakeAt uint64
 }
 
 func (c *Controller) noteEnqueue(r *Request) { c.wakeAt = 0 }
+
+func (c *Controller) groupRemove(r *Request) {}
 
 // Enqueue grows readQ and never calls noteEnqueue or touches wakeAt:
 // horizonarm must flag this.
@@ -34,4 +38,19 @@ func (c *Controller) ObsSampleHook() int {
 	n := len(c.readQ)
 	c.readQ = c.readQ[:0]
 	return n
+}
+
+// DropWrite shrinks the write queue without filing the removal with
+// the candidate-group index (groupRemove is reachable but never
+// called): groupsync must flag this.
+func (c *Controller) DropWrite() {
+	c.noteEnqueue(nil)
+	c.writeQ = c.writeQ[:len(c.writeQ)-1]
+}
+
+// DropWriteFiled keeps groupRemove reachable so it is not dead code.
+func (c *Controller) DropWriteFiled(r *Request) {
+	c.noteEnqueue(r)
+	c.writeQ = c.writeQ[:len(c.writeQ)-1]
+	c.groupRemove(r)
 }

@@ -167,9 +167,30 @@ type Controller struct {
 	readQ  []*Request
 	writeQ []*Request
 
+	// writeByAddr indexes the write queue by block address: the
+	// read-forwarding and write-coalescing checks every enqueue runs
+	// are point lookups here instead of O(writeQ) scans. Addresses
+	// are unique within the queue (coalescing guarantees it), and the
+	// map is only ever probed — never iterated — so it introduces no
+	// ordering sensitivity.
+	writeByAddr map[uint64]*Request
+
 	// inflight holds issued column accesses ordered by completion
-	// time (insertion keeps it sorted; it stays tiny).
-	inflight []completion
+	// time (insertion keeps it sorted; it stays tiny). It is a
+	// head-indexed ring: retiring advances inflightHd instead of
+	// reslicing, so the backing array's capacity is reused forever
+	// rather than creeping forward and reallocating.
+	inflight   []completion
+	inflightHd int
+
+	// freeReq recycles Request structs: a request retired in Tick
+	// step 1 goes back on the list and the next enqueue reuses it, so
+	// the steady-state busy path allocates nothing. Safe because the
+	// controller owns the full lifecycle — requests leave every queue,
+	// bucket and group at issue time, policies do not retain pointers
+	// past OnComplete (the Policy contract), and OnDone callbacks
+	// receive only the completion cycle.
+	freeReq []*Request
 
 	writeMode bool
 	nextID    uint64
@@ -212,13 +233,34 @@ type Controller struct {
 	bankQ   []bankQueue
 	bankHzn []bankHorizon
 
-	// scratch buffers reused across cycles to avoid allocation. The
-	// (rank, bank, row) request grouping and the per-bank oldest-ID
-	// index are rebuilt every busy tick; map hashing dominated the
-	// busy-cycle profile, so both use epoch-stamped open addressing
-	// (no per-tick clearing, no runtime map machinery).
-	optBuf     []Option
-	view       View
+	// Candidate-group index (see groups.go): one live entry per
+	// (bankIdx, row), maintained incrementally by the enqueue and
+	// remove paths, consumed by buildOptions. grp is the group arena
+	// (handles are indices, grpFree recycles them); readOrder and
+	// writeOrder keep the groups with queued reads/writes sorted by
+	// oldest-member ID; bankMinRead/bankMinWrite are the per-bank
+	// oldest-ID index (noID when the bank has none of that kind);
+	// grpPending spools enqueued requests until the next option build
+	// folds them in (the enqueue path stays O(1)).
+	grp          []group
+	grpFree      []int32
+	grpPending   []*Request
+	readOrder    []int32
+	writeOrder   []int32
+	bankMinRead  []uint64
+	bankMinWrite []uint64
+
+	// scratch buffers reused across cycles to avoid allocation.
+	optBuf []Option
+	view   View
+
+	// Straight-port reference rebuild state, used only by
+	// buildOptionsRef (the per-tick O(queue) twin VerifyCandidateGroups
+	// and the property suites compare the incremental index against).
+	// The (rank, bank, row) grouping and per-bank oldest-ID index use
+	// epoch-stamped open addressing (no per-call clearing, no runtime
+	// map machinery).
+	refBuf     []Option
 	groups     groupTable
 	gkOrder    []uint32 // slot indices into groups, insertion order
 	bankOldest []uint64 // per bankIdx; valid iff bankEpoch matches
@@ -270,6 +312,11 @@ type bankQueue struct {
 	reads  []*Request
 	writes []*Request
 	seq    uint32
+	// groups holds the handles of this bank's live candidate groups
+	// (one per distinct queued row; see groups.go). Order is
+	// irrelevant — the global readOrder/writeOrder arrays carry the
+	// option ordering — so removal swaps with the tail.
+	groups []int32
 }
 
 // bankHorizon is one bank's cached earliest-issue horizon: the first
@@ -362,19 +409,29 @@ func New(cfg Config, ch *dram.Channel, policy Policy, page pagepolicy.Policy) (*
 		return nil, fmt.Errorf("memctrl: nil channel, policy, or page policy")
 	}
 	banks := ch.Geo.Ranks * ch.Geo.Banks
-	return &Controller{
+	c := &Controller{
 		cfg:          cfg,
 		ch:           ch,
 		policy:       policy,
 		page:         page,
 		pagePure:     pagepolicy.IsPure(page),
 		pendingClose: make([]bool, banks),
-		groups:       newGroupTable(cfg.ReadQueueCap + cfg.WriteQueueCap),
-		bankOldest:   make([]uint64, banks),
-		bankEpoch:    make([]uint32, banks),
 		bankQ:        make([]bankQueue, banks),
 		bankHzn:      make([]bankHorizon, banks),
-	}, nil
+		bankMinRead:  make([]uint64, banks),
+		bankMinWrite: make([]uint64, banks),
+		// Pre-size the enqueue spill list for the worst case (every
+		// queued request pending at once) so the enqueue path never
+		// grows it; the arena and order arrays grow amortized on the
+		// busy path and are recycled thereafter.
+		grpPending:  make([]*Request, 0, cfg.ReadQueueCap+cfg.WriteQueueCap),
+		writeByAddr: make(map[uint64]*Request, cfg.WriteQueueCap),
+	}
+	for i := 0; i < banks; i++ {
+		c.bankMinRead[i] = noID
+		c.bankMinWrite[i] = noID
+	}
+	return c, nil
 }
 
 // Channel exposes the underlying DRAM channel (for device statistics).
@@ -407,7 +464,7 @@ func (c *Controller) QueueLens() (reads, writes int) {
 
 // Pending returns the number of requests queued or in flight.
 func (c *Controller) Pending() int {
-	return len(c.readQ) + len(c.writeQ) + len(c.inflight)
+	return len(c.readQ) + len(c.writeQ) + len(c.inflight) - c.inflightHd
 }
 
 // EnqueueRead queues a read. It returns false when the read queue is
@@ -418,23 +475,23 @@ func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.L
 	if kind.IsWrite() {
 		panic("memctrl: EnqueueRead called with a write kind")
 	}
-	for _, w := range c.writeQ {
-		if w.Addr == addr {
-			c.Stats.ForwardedReads++
-			r := &Request{
-				ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
-				Kind: kind, Arrival: now, OnDone: onDone,
-			}
-			c.nextID++
-			c.scheduleCompletion(r, now+uint64(c.cfg.ForwardLatency))
-			return true
+	if _, ok := c.writeByAddr[addr]; ok {
+		c.Stats.ForwardedReads++
+		r := c.newRequest()
+		*r = Request{
+			ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
+			Kind: kind, Arrival: now, OnDone: onDone,
 		}
+		c.nextID++
+		c.scheduleCompletion(r, now+uint64(c.cfg.ForwardLatency))
+		return true
 	}
 	if len(c.readQ) >= c.cfg.ReadQueueCap {
 		c.Stats.EnqueueFailures++
 		return false
 	}
-	r := &Request{
+	r := c.newRequest()
+	*r = Request{
 		ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
 		Kind: kind, Arrival: now, OnDone: onDone,
 	}
@@ -443,6 +500,7 @@ func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.L
 	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
 	bk.reads = append(bk.reads, r)
 	bk.seq++
+	c.groupNote(r)
 	c.noteEnqueue(r, now)
 	c.policy.OnEnqueue(r, now)
 	return true
@@ -451,37 +509,61 @@ func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.L
 // EnqueueWrite queues a writeback. It returns false when the write
 // queue is full. A write to an address already queued is merged.
 func (c *Controller) EnqueueWrite(now uint64, src Source, addr uint64, loc dram.Location, onDone func(uint64)) bool {
-	for _, w := range c.writeQ {
-		if w.Addr == addr {
-			// Coalesce: the queued write already covers this block.
-			if onDone != nil {
-				onDone(now)
-			}
-			return true
+	if _, ok := c.writeByAddr[addr]; ok {
+		// Coalesce: the queued write already covers this block.
+		if onDone != nil {
+			onDone(now)
 		}
+		return true
 	}
 	if len(c.writeQ) >= c.cfg.WriteQueueCap {
 		c.Stats.EnqueueFailures++
 		return false
 	}
-	r := &Request{
+	r := c.newRequest()
+	*r = Request{
 		ID: c.nextID, Core: src.Core, Tenant: src.Tenant, Addr: addr, Loc: loc,
 		Kind: WriteBack, Arrival: now, OnDone: onDone,
 	}
 	c.nextID++
 	c.writeQ = append(c.writeQ, r)
+	c.writeByAddr[addr] = r
 	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
 	bk.writes = append(bk.writes, r)
 	bk.seq++
+	c.groupNote(r)
 	c.noteEnqueue(r, now)
 	c.policy.OnEnqueue(r, now)
 	return true
 }
 
+// newRequest returns a Request from the free list, or a fresh one.
+// Callers overwrite every field (*r = Request{...}), so recycled
+// structs carry no state across lives.
+func (c *Controller) newRequest() *Request {
+	if n := len(c.freeReq); n > 0 {
+		r := c.freeReq[n-1]
+		c.freeReq[n-1] = nil
+		c.freeReq = c.freeReq[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
 func (c *Controller) scheduleCompletion(r *Request, at uint64) {
+	if c.inflightHd > 0 && len(c.inflight) == cap(c.inflight) {
+		// Out of room at the tail but retired slots sit at the front:
+		// compact instead of letting append reallocate.
+		n := copy(c.inflight, c.inflight[c.inflightHd:])
+		for i := n; i < len(c.inflight); i++ {
+			c.inflight[i] = completion{}
+		}
+		c.inflight = c.inflight[:n]
+		c.inflightHd = 0
+	}
 	i := len(c.inflight)
 	c.inflight = append(c.inflight, completion{})
-	for i > 0 && c.inflight[i-1].at > at {
+	for i > c.inflightHd && c.inflight[i-1].at > at {
 		c.inflight[i] = c.inflight[i-1]
 		i--
 	}
@@ -614,7 +696,7 @@ func (c *Controller) setPendingClose(idx int, v bool) {
 // completions do (core's fill buffering), or lock like
 // obs.TraceWriter.
 func (c *Controller) Tick(now uint64) {
-	if c.fastPath && now < c.wakeAt && (len(c.inflight) == 0 || c.inflight[0].at > now) {
+	if c.fastPath && now < c.wakeAt && (len(c.inflight) == c.inflightHd || c.inflight[c.inflightHd].at > now) {
 		return
 	}
 	if c.parked {
@@ -622,10 +704,14 @@ func (c *Controller) Tick(now uint64) {
 		c.Stats.Wakes++
 	}
 
-	// 1. Retire completed transfers.
-	for len(c.inflight) > 0 && c.inflight[0].at <= now {
-		done := c.inflight[0]
-		c.inflight = c.inflight[1:]
+	// 1. Retire completed transfers. The retired Request goes back on
+	// the free list — every reference to it (queues, buckets, groups,
+	// options) was dropped at issue time, and OnComplete is the last
+	// contact the policy contract allows.
+	for len(c.inflight) > c.inflightHd && c.inflight[c.inflightHd].at <= now {
+		done := c.inflight[c.inflightHd]
+		c.inflight[c.inflightHd] = completion{}
+		c.inflightHd++
 		ts := c.tenantStatsFor(done.req)
 		if !done.req.Kind.IsWrite() {
 			c.Stats.ReadsServed++
@@ -644,6 +730,11 @@ func (c *Controller) Tick(now uint64) {
 			done.req.OnDone(now)
 		}
 		c.policy.OnComplete(done.req, now)
+		c.freeReq = append(c.freeReq, done.req)
+	}
+	if c.inflightHd == len(c.inflight) && c.inflightHd > 0 {
+		c.inflight = c.inflight[:0]
+		c.inflightHd = 0
 	}
 
 	// 2. Queue-occupancy statistics.
@@ -865,8 +956,8 @@ func (c *Controller) NextEvent(now uint64) uint64 {
 		return now
 	}
 	h := c.wakeAt
-	if len(c.inflight) > 0 && c.inflight[0].at < h {
-		h = c.inflight[0].at
+	if len(c.inflight) > c.inflightHd && c.inflight[c.inflightHd].at < h {
+		h = c.inflight[c.inflightHd].at
 	}
 	if h < now {
 		return now
@@ -926,10 +1017,107 @@ func (c *Controller) consideredQueues(mixed bool) (primary, secondary []*Request
 }
 
 // buildOptions computes the set of legal commands for this cycle into
-// c.view, grouping queued requests by (rank, bank, row) and generating
-// at most one command per group.
+// c.view from the incremental candidate-group index (groups.go):
+// at most one command per live (rank, bank, row) group, emitted in
+// the same first-appearance order as the reference rebuild. The cost
+// is O(live groups) per tick with a cheap epoch-stamped cache hit per
+// group; dram legality is recomputed only for groups whose
+// representative changed or whose bank's constraint epochs moved.
 func (c *Controller) buildOptions(now uint64, mixed bool) {
+	c.groupFold()
 	c.optBuf = c.optBuf[:0]
+	grp := c.grp
+	dataE := c.ch.DataEpoch()
+	var pendingHits int
+	switch c.queueMode(mixed) {
+	case modeWrites:
+		for _, h := range c.writeOrder {
+			g := &grp[h]
+			pendingHits += c.groupOption(now, g, g.writes[0], c.bankMinWrite[g.bank], dataE)
+		}
+	case modeBoth:
+		// Reference order: groups with queued reads first (ascending
+		// oldest-read ID — their first appearance scanning the read
+		// queue), then write-only groups (ascending oldest-write ID).
+		for _, h := range c.readOrder {
+			g := &grp[h]
+			rep := g.reads[0]
+			if len(g.writes) > 0 && g.writes[0].ID < rep.ID {
+				rep = g.writes[0]
+			}
+			oldest := c.bankMinRead[g.bank]
+			if c.bankMinWrite[g.bank] < oldest {
+				oldest = c.bankMinWrite[g.bank]
+			}
+			pendingHits += c.groupOption(now, g, rep, oldest, dataE)
+		}
+		for _, h := range c.writeOrder {
+			g := &grp[h]
+			if len(g.reads) > 0 {
+				continue // already emitted via readOrder
+			}
+			oldest := c.bankMinRead[g.bank]
+			if c.bankMinWrite[g.bank] < oldest {
+				oldest = c.bankMinWrite[g.bank]
+			}
+			pendingHits += c.groupOption(now, g, g.writes[0], oldest, dataE)
+		}
+	default:
+		// Read-only mode is the bulk of busy-path ticks; the cache-hit
+		// test of groupOption is open-coded here because the per-group
+		// call otherwise dominates the deep-queue profile (the function
+		// is too large to inline).
+		bankMin := c.bankMinRead
+		for _, h := range c.readOrder {
+			g := &grp[h]
+			rep := g.reads[0]
+			if g.cacheOK && g.repID == rep.ID && g.bankEpoch == g.bankRef.Epoch() &&
+				(g.optKind != dram.CmdActivate || g.rankEpoch == g.rankRef.ActEpoch()) &&
+				(g.optKind < dram.CmdRead || g.dataEpoch == dataE) {
+				if g.optKind >= dram.CmdRead {
+					pendingHits++
+				}
+				if now >= g.optAt {
+					c.optBuf = append(c.optBuf, Option{
+						Cmd: dram.Command{Kind: g.optKind, Loc: rep.Loc}, Req: rep,
+						RowHit: g.optKind >= dram.CmdRead, BankOldestID: bankMin[g.bank],
+					})
+				}
+				continue
+			}
+			pendingHits += c.groupOptionMiss(now, g, rep, bankMin[g.bank])
+		}
+	}
+
+	c.view = View{
+		Now:            now,
+		Options:        c.optBuf,
+		ReadQLen:       len(c.readQ),
+		WriteQLen:      len(c.writeQ),
+		WriteMode:      c.effectiveWriteMode(),
+		PendingRowHits: pendingHits,
+		Channel:        c.ch.ID,
+		ReadQueue:      c.readQ,
+		WriteQueue:     c.writeQ,
+	}
+}
+
+// buildOptionsRef is the straight-port reference rebuild: the per-tick
+// O(queue) grouping pass buildOptions replaced, preserved verbatim as
+// the exactness twin. VerifyCandidateGroups and the differential
+// property suites regenerate the option list through it and require
+// bit-identical output from the incremental index; production code
+// never calls it.
+func (c *Controller) buildOptionsRef(now uint64, mixed bool) ([]Option, int) {
+	if c.groups.slots == nil {
+		// The reference state is allocated on first use: production
+		// code never rebuilds, so an ordinary controller should not
+		// pay for the twin's table.
+		c.groups = newGroupTable(c.cfg.ReadQueueCap + c.cfg.WriteQueueCap)
+		c.bankOldest = make([]uint64, len(c.bankQ))
+		c.bankEpoch = make([]uint32, len(c.bankQ))
+	}
+	c.refBuf = c.refBuf[:0]
 	if c.groups.reset() {
 		// bankEpoch is stamped with groups.epoch; a wrap makes ancient
 		// stamps alias the fresh epoch, so clear them together.
@@ -976,7 +1164,7 @@ func (c *Controller) buildOptions(now uint64, mixed bool) {
 		case bank.State == dram.BankIdle:
 			cmd := dram.Command{Kind: dram.CmdActivate, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
-				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
+				c.refBuf = append(c.refBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
 			}
 		case bank.OpenRow == loc.Row:
 			pendingHits++
@@ -986,27 +1174,17 @@ func (c *Controller) buildOptions(now uint64, mixed bool) {
 			}
 			cmd := dram.Command{Kind: kind, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
-				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, RowHit: true, BankOldestID: oldest})
+				c.refBuf = append(c.refBuf, Option{Cmd: cmd, Req: r, RowHit: true, BankOldestID: oldest})
 			}
 		default:
 			cmd := dram.Command{Kind: dram.CmdPrecharge, Loc: loc}
 			if c.ch.CanIssue(now, cmd) {
-				c.optBuf = append(c.optBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
+				c.refBuf = append(c.refBuf, Option{Cmd: cmd, Req: r, BankOldestID: oldest})
 			}
 		}
 	}
 
-	c.view = View{
-		Now:            now,
-		Options:        c.optBuf,
-		ReadQLen:       len(c.readQ),
-		WriteQLen:      len(c.writeQ),
-		WriteMode:      c.effectiveWriteMode(),
-		PendingRowHits: pendingHits,
-		Channel:        c.ch.ID,
-		ReadQueue:      c.readQ,
-		WriteQueue:     c.writeQ,
-	}
+	return c.refBuf, pendingHits
 }
 
 // issue applies the chosen option and performs request/page-policy
@@ -1114,21 +1292,21 @@ func (c *Controller) TenantStatsSlice() []TenantStats { return c.tenants }
 // destroying precisely the speculative open-row hits it exists to
 // capture.
 func (c *Controller) pendingForRow(loc dram.Location) (same, other int) {
-	count := func(q []*Request) {
-		for _, r := range q {
-			if r.Loc.Rank != loc.Rank || r.Loc.Bank != loc.Bank {
-				continue
-			}
-			if r.Loc.Row == loc.Row {
-				same++
-			} else {
-				other++
-			}
+	// The bank's candidate groups partition its queued requests by
+	// row, so counting group sizes replaces the full-queue scan.
+	countWrites := c.effectiveWriteMode() || considersWrites(c.policy)
+	bq := &c.bankQ[loc.Rank*c.ch.Geo.Banks+loc.Bank]
+	for _, gh := range bq.groups {
+		g := &c.grp[gh]
+		n := len(g.reads)
+		if countWrites {
+			n += len(g.writes)
 		}
-	}
-	count(c.readQ)
-	if c.effectiveWriteMode() || considersWrites(c.policy) {
-		count(c.writeQ)
+		if g.row == loc.Row {
+			same += n
+		} else {
+			other += n
+		}
 	}
 	return same, other
 }
@@ -1178,13 +1356,14 @@ func (c *Controller) tryPendingClose(now uint64) (dram.Command, bool) {
 	return dram.Command{Kind: dram.CmdNop}, false
 }
 
-// removeRequest deletes r from whichever queue holds it and from its
-// bank bucket.
+// removeRequest deletes r from whichever queue holds it, from its
+// bank bucket, and from its candidate group.
 func (c *Controller) removeRequest(r *Request) {
 	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
 	q, bq := &c.readQ, &bk.reads
 	if r.Kind.IsWrite() {
 		q, bq = &c.writeQ, &bk.writes
+		delete(c.writeByAddr, r.Addr)
 	}
 	bk.seq++
 	inBucket := false
@@ -1201,13 +1380,26 @@ func (c *Controller) removeRequest(r *Request) {
 	if !inBucket {
 		panic("memctrl: removing request not in its bank bucket")
 	}
-	for i, x := range *q {
-		if x == r {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
+	c.groupRemove(r)
+	// Queues are ID-ascending (IDs assigned at enqueue, removals
+	// preserve order), so r's position is a binary search away.
+	s := *q
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].ID < r.ID {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	panic("memctrl: removing request not in queue")
+	if lo >= len(s) || s[lo] != r {
+		panic("memctrl: removing request not in queue")
+	}
+	n := len(s)
+	copy(s[lo:], s[lo+1:])
+	s[n-1] = nil
+	*q = s[:n-1]
 }
 
 // ResetStats zeroes the measurement counters (e.g. after warmup)

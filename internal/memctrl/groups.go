@@ -1,0 +1,380 @@
+package memctrl
+
+import "cloudmc/internal/dram"
+
+// This file maintains the candidate-group index: one live entry per
+// (bankIdx, row) holding the queued requests of that group, kept
+// incrementally by the enqueue and remove paths so the busy-path
+// option builder is O(live groups) with cached legality instead of
+// O(queued requests) with a full per-tick rebuild. The index is the
+// authoritative input of buildOptions; buildOptionsRef (the straight-
+// port per-tick rebuild it replaced) survives as the reference twin
+// that VerifyCandidateGroups and the property suites compare against.
+//
+// Ordering invariant. The option list must reproduce the reference
+// rebuild bit for bit, and the reference emits groups in first-
+// appearance order scanning the primary queue then the secondary one.
+// Queues hold requests in ascending ID order (IDs are assigned at
+// enqueue and removal preserves order), so first appearance in a
+// queue is ascending min-ID-in-that-queue. The index therefore keeps
+// two order arrays: readOrder (every group with >= 1 queued read,
+// ascending by the ID of its oldest read) and writeOrder (likewise
+// for writes). modeReads iterates readOrder, modeWrites writeOrder,
+// and modeBoth iterates readOrder then the read-free suffix of
+// writeOrder — exactly the reference's read-queue-then-write-queue
+// first-appearance order.
+//
+// Maintenance is cheap because IDs are monotone: a request entering a
+// group is always its newest member, so a group entering an order
+// array goes to the tail (its min ID exceeds every older group's) and
+// an enqueue never reorders anything. Removal pops some request —
+// when it was the group's oldest of its kind the group's sort key
+// grows, so it is deleted at its old key and re-inserted at the new
+// one (two binary searches plus memmoves over int32 handles).
+
+// noID is the "no request" sentinel for the per-bank oldest-ID index;
+// it compares greater than every real ID.
+const noID = ^uint64(0)
+
+// group is one live candidate group: the queued requests targeting a
+// single (bankIdx, row), split by kind and held oldest-first, plus
+// the group's cached candidate command (see groupOption).
+type group struct {
+	row    int
+	bank   int32 // bankIdx = rank*banks + bank
+	rankNo int32 // bank's rank — stored so the hot path never divides
+	bankNo int32 // bank number within the rank
+
+	// bankRef and rankRef point at the group's dram bank and rank.
+	// dram.Channel never reallocates its Ranks or Banks slices after
+	// construction, so the pointers are stable and save the option
+	// builder a double slice index per group per tick.
+	bankRef *dram.Bank
+	rankRef *dram.Rank
+
+	// reads and writes hold the group's queued requests in ascending
+	// ID order; index 0 is the group's oldest of that kind.
+	reads  []*Request
+	writes []*Request
+
+	// Cached candidate command: the option this group generated last
+	// time it was examined. Valid while the representative request and
+	// the dram constraint epochs the command's legality depends on are
+	// unchanged (bank epoch always; rank ACT epoch for ACTIVATE, the
+	// tRRD/tFAW window; channel data epoch for column accesses). The
+	// command bus needs no stamp: at option-build time the controller
+	// has not issued this cycle, so the bus term of EarliestIssue never
+	// exceeds the current cycle and the now >= optAt test is exact (the
+	// same argument that lets dram.Channel omit a command-bus epoch).
+	cacheOK   bool
+	optKind   dram.CommandKind
+	optAt     uint64
+	repID     uint64
+	bankEpoch uint32
+	rankEpoch uint32
+	dataEpoch uint32
+}
+
+// allocGroup takes a group entry from the free list (or grows the
+// arena) and initializes it for r's (row, bank). Request slices keep
+// their capacity across recycling, so a steady-state controller stops
+// allocating entirely; the arena is pre-sized at construction for the
+// worst case (one group per queued request).
+func (c *Controller) allocGroup(r *Request, bank int32) int32 {
+	var h int32
+	if n := len(c.grpFree); n > 0 {
+		h = c.grpFree[n-1]
+		c.grpFree = c.grpFree[:n-1]
+	} else {
+		c.grp = append(c.grp, group{})
+		h = int32(len(c.grp) - 1)
+	}
+	g := &c.grp[h]
+	g.row, g.bank = r.Loc.Row, bank
+	g.rankNo, g.bankNo = int32(r.Loc.Rank), int32(r.Loc.Bank)
+	g.rankRef = &c.ch.Ranks[r.Loc.Rank]
+	g.bankRef = &g.rankRef.Banks[r.Loc.Bank]
+	g.reads = g.reads[:0]
+	g.writes = g.writes[:0]
+	g.cacheOK = false
+	return h
+}
+
+// groupNote records a freshly enqueued request for the index. The
+// work of filing it into its group is deferred to the next option
+// build (groupFold): an enqueue into a parked controller must stay
+// O(1) and allocation-free, and the index is not consulted until the
+// next full tick — a tick that may never come for requests that are
+// invisible under the current queue mode (reads during a write
+// drain), making eager maintenance pure waste on the park path.
+func (c *Controller) groupNote(r *Request) {
+	c.grpPending = append(c.grpPending, r)
+}
+
+// groupFold drains the enqueue spill list into the index, in arrival
+// (ID) order so groupEnqueue's tail-append invariant holds. Called at
+// the top of every option build and by VerifyCandidateGroups; nothing
+// reads the index before one of those runs.
+func (c *Controller) groupFold() {
+	if cap(c.grp) == 0 && len(c.grpPending) > 0 {
+		// First fold: size the arena for the batch in one allocation
+		// instead of growing geometrically through it.
+		c.grp = make([]group, 0, len(c.grpPending))
+	}
+	for i, r := range c.grpPending {
+		c.groupEnqueue(r)
+		c.grpPending[i] = nil
+	}
+	c.grpPending = c.grpPending[:0]
+}
+
+// groupEnqueue adds r to its (bankIdx, row) group, creating the group
+// if needed. O(groups in r's bank) for the row lookup — a handful —
+// and O(1) for the order arrays: r is the newest request in the
+// index, so a group it creates (or gives its first request of r's
+// kind) has the largest min-ID key and belongs at the tail.
+func (c *Controller) groupEnqueue(r *Request) {
+	bk := int32(r.Loc.Rank*c.ch.Geo.Banks + r.Loc.Bank)
+	bq := &c.bankQ[bk]
+	h := int32(-1)
+	for _, gh := range bq.groups {
+		if c.grp[gh].row == r.Loc.Row {
+			h = gh
+			break
+		}
+	}
+	if h < 0 {
+		h = c.allocGroup(r, bk)
+		bq.groups = append(bq.groups, h)
+	}
+	g := &c.grp[h]
+	if r.Kind.IsWrite() {
+		if len(g.writes) == 0 {
+			c.writeOrder = append(c.writeOrder, h)
+		}
+		g.writes = append(g.writes, r)
+		if r.ID < c.bankMinWrite[bk] {
+			c.bankMinWrite[bk] = r.ID
+		}
+	} else {
+		if len(g.reads) == 0 {
+			c.readOrder = append(c.readOrder, h)
+		}
+		g.reads = append(g.reads, r)
+		if r.ID < c.bankMinRead[bk] {
+			c.bankMinRead[bk] = r.ID
+		}
+	}
+	// The cached candidate needs no invalidation: it is keyed to the
+	// representative's ID, and a representative change is detected at
+	// use (groupOption compares repID before trusting the cache).
+}
+
+// groupRemove deletes r from its group, repairing the order arrays
+// and the per-bank oldest-ID index, and frees the group when it
+// empties. The served request is normally its group's oldest of its
+// kind (options carry the min-ID representative), making this a head
+// pop; any position is handled for robustness.
+func (c *Controller) groupRemove(r *Request) {
+	bk := int32(r.Loc.Rank*c.ch.Geo.Banks + r.Loc.Bank)
+	bq := &c.bankQ[bk]
+	h, gi := int32(-1), -1
+	for i, gh := range bq.groups {
+		if c.grp[gh].row == r.Loc.Row {
+			h, gi = gh, i
+			break
+		}
+	}
+	if h < 0 {
+		panic("memctrl: removing request with no candidate group")
+	}
+	g := &c.grp[h]
+	if r.Kind.IsWrite() {
+		oldKey := g.writes[0].ID
+		popGroupReq(&g.writes, r)
+		if len(g.writes) == 0 {
+			c.orderDelete(&c.writeOrder, h, oldKey, true)
+		} else if g.writes[0].ID != oldKey {
+			c.orderDelete(&c.writeOrder, h, oldKey, true)
+			c.orderInsert(&c.writeOrder, h, g.writes[0].ID, true)
+		}
+		if r.ID == c.bankMinWrite[bk] {
+			c.rescanBankMin(bk)
+		}
+	} else {
+		oldKey := g.reads[0].ID
+		popGroupReq(&g.reads, r)
+		if len(g.reads) == 0 {
+			c.orderDelete(&c.readOrder, h, oldKey, false)
+		} else if g.reads[0].ID != oldKey {
+			c.orderDelete(&c.readOrder, h, oldKey, false)
+			c.orderInsert(&c.readOrder, h, g.reads[0].ID, false)
+		}
+		if r.ID == c.bankMinRead[bk] {
+			c.rescanBankMin(bk)
+		}
+	}
+	if len(g.reads) == 0 && len(g.writes) == 0 {
+		last := len(bq.groups) - 1
+		bq.groups[gi] = bq.groups[last]
+		bq.groups = bq.groups[:last]
+		c.grpFree = append(c.grpFree, h)
+	}
+}
+
+// popGroupReq removes r from a group's kind list, preserving ID order
+// and clearing the vacated tail slot so recycled requests are not
+// pinned by stale capacity.
+func popGroupReq(s *[]*Request, r *Request) {
+	q := *s
+	for i, x := range q {
+		if x == r {
+			n := len(q)
+			copy(q[i:], q[i+1:])
+			q[n-1] = nil
+			*s = q[:n-1]
+			return
+		}
+	}
+	panic("memctrl: request missing from its candidate group")
+}
+
+// orderKey returns a group's current sort key in the given order
+// array: the ID of its oldest request of that kind.
+func (c *Controller) orderKey(h int32, writes bool) uint64 {
+	g := &c.grp[h]
+	if writes {
+		return g.writes[0].ID
+	}
+	return g.reads[0].ID
+}
+
+// orderDelete removes handle h from an order array. oldKey is h's
+// sort key at insertion time (its group may already hold a different
+// head); every other entry's key is current, so a binary search
+// against oldKey lands on h directly. Keys are request IDs and
+// therefore unique.
+func (c *Controller) orderDelete(order *[]int32, h int32, oldKey uint64, writes bool) {
+	s := *order
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		k := oldKey
+		if s[mid] != h {
+			k = c.orderKey(s[mid], writes)
+		}
+		if k < oldKey {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s) || s[lo] != h {
+		panic("memctrl: candidate group missing from its order array")
+	}
+	copy(s[lo:], s[lo+1:])
+	*order = s[:len(s)-1]
+}
+
+// orderInsert places handle h into an order array at its key's sorted
+// position.
+func (c *Controller) orderInsert(order *[]int32, h int32, key uint64, writes bool) {
+	s := *order
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.orderKey(s[mid], writes) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = h
+	*order = s
+}
+
+// rescanBankMin recomputes one bank's oldest-ID index from its live
+// groups — O(groups in the bank), called only when the removed
+// request was the bank's oldest of its kind.
+func (c *Controller) rescanBankMin(bk int32) {
+	bq := &c.bankQ[bk]
+	minR, minW := uint64(noID), uint64(noID)
+	for _, gh := range bq.groups {
+		g := &c.grp[gh]
+		if len(g.reads) > 0 && g.reads[0].ID < minR {
+			minR = g.reads[0].ID
+		}
+		if len(g.writes) > 0 && g.writes[0].ID < minW {
+			minW = g.writes[0].ID
+		}
+	}
+	c.bankMinRead[bk], c.bankMinWrite[bk] = minR, minW
+}
+
+// groupOption regenerates group g's candidate command with rep as its
+// representative (the group's oldest considered request) and appends
+// it to optBuf when legal at now, returning 1 when the candidate is a
+// row hit (legal or not — PendingRowHits counts both). The command
+// kind and earliest-issue cycle are cached per group; a cache hit
+// costs a few epoch compares and no dram legality call, so a tick in
+// which a bank's constraints did not move regenerates that bank's
+// options without touching the channel. dataE is c.ch.DataEpoch(),
+// hoisted by the caller once per tick. Column commands are the top of
+// the CommandKind enum, so kind >= CmdRead tests "row hit" in one
+// compare.
+func (c *Controller) groupOption(now uint64, g *group, rep *Request, oldest uint64, dataE uint32) int {
+	if g.cacheOK && g.repID == rep.ID && g.bankEpoch == g.bankRef.Epoch() &&
+		(g.optKind != dram.CmdActivate || g.rankEpoch == g.rankRef.ActEpoch()) &&
+		(g.optKind < dram.CmdRead || g.dataEpoch == dataE) {
+		if now >= g.optAt {
+			c.optBuf = append(c.optBuf, Option{
+				Cmd: dram.Command{Kind: g.optKind, Loc: rep.Loc}, Req: rep,
+				RowHit: g.optKind >= dram.CmdRead, BankOldestID: oldest,
+			})
+		}
+		if g.optKind >= dram.CmdRead {
+			return 1
+		}
+		return 0
+	}
+	return c.groupOptionMiss(now, g, rep, oldest)
+}
+
+// groupOptionMiss is groupOption's cache-miss path: recompute the
+// candidate command through dram and restamp the cache. Split out so
+// the hit path above stays small enough to stay cheap per group.
+func (c *Controller) groupOptionMiss(now uint64, g *group, rep *Request, oldest uint64) int {
+	bank := g.bankRef
+	var kind dram.CommandKind
+	rowHit := false
+	switch {
+	case bank.State == dram.BankIdle:
+		kind = dram.CmdActivate
+	case bank.OpenRow == g.row:
+		kind = dram.CmdRead
+		if rep.Kind.IsWrite() {
+			kind = dram.CmdWrite
+		}
+		rowHit = true
+	default:
+		kind = dram.CmdPrecharge
+	}
+	at := c.ch.EarliestIssue(dram.Command{Kind: kind, Loc: rep.Loc})
+	g.cacheOK = true
+	g.optKind, g.optAt, g.repID = kind, at, rep.ID
+	g.bankEpoch = bank.Epoch()
+	g.rankEpoch = g.rankRef.ActEpoch()
+	g.dataEpoch = c.ch.DataEpoch()
+	if now >= at {
+		c.optBuf = append(c.optBuf, Option{
+			Cmd: dram.Command{Kind: kind, Loc: rep.Loc}, Req: rep,
+			RowHit: rowHit, BankOldestID: oldest,
+		})
+	}
+	if rowHit {
+		return 1
+	}
+	return 0
+}

@@ -71,6 +71,16 @@ func (v *View) OldestOption() int {
 // for which those calls are NOT no-ops on such cycles — e.g. anything
 // with clock-driven state — must implement EventHorizon so the
 // controller knows when it must wake up and run them.
+//
+// Lifetime contract: a *Request is owned by the controller and
+// recycled through a free list once its transfer completes. Policies
+// may hold the pointer from OnEnqueue until their OnComplete call for
+// that request returns, and no longer: after OnComplete the same
+// *Request may be reused for an unrelated future enqueue (same
+// pointer, new ID/address/tenant). Policies that need per-request
+// state past completion must key it by value (Request.ID), never by
+// pointer. (All shipped policies drop the pointer in OnComplete;
+// PAR-BS re-reads the queues from View each Pick.)
 type Policy interface {
 	// Name returns the algorithm name used in reports.
 	Name() string

@@ -108,3 +108,199 @@ func (c *Controller) VerifyParkHorizon(now uint64, maxScan uint64) error {
 	}
 	return nil
 }
+
+// VerifyCandidateGroups checks the incremental candidate-group index
+// (groups.go) against first principles: the structural invariants the
+// maintenance paths promise, then a behavioral comparison of
+// buildOptions against buildOptionsRef, the preserved straight-port
+// rebuild. It is the group-index twin of VerifyParkHorizon; the
+// property suites call it between ticks, production code never does.
+//
+// Precondition: call at a cycle boundary, before any command has been
+// issued at cycle now. The cached-legality argument (see group's
+// cacheOK comment) relies on the command bus being untouched this
+// cycle; calling mid-tick after an issue can report false mismatches.
+// The check folds pending enqueues and refreshes the per-group caches
+// and c.view — all state the next tick would recompute anyway — but
+// issues nothing and consults no policy.
+func (c *Controller) VerifyCandidateGroups(now uint64) error {
+	c.groupFold()
+
+	// Structural pass. Live handles are the ones reachable from the
+	// per-bank group lists; together with the free list they must
+	// partition the arena.
+	live := make(map[int32]int32, len(c.grp)) // handle -> bankIdx
+	rows := make(map[int64]bool)              // bankIdx<<32|row dedup
+	for bk := range c.bankQ {
+		for _, h := range c.bankQ[bk].groups {
+			if h < 0 || int(h) >= len(c.grp) {
+				return fmt.Errorf("memctrl: groups: bank %d lists out-of-range handle %d", bk, h)
+			}
+			if _, ok := live[h]; ok {
+				return fmt.Errorf("memctrl: groups: handle %d listed by two banks", h)
+			}
+			live[h] = int32(bk)
+			g := &c.grp[h]
+			if g.bank != int32(bk) {
+				return fmt.Errorf("memctrl: groups: handle %d in bank %d claims bank %d", h, bk, g.bank)
+			}
+			if int(g.rankNo)*c.ch.Geo.Banks+int(g.bankNo) != bk {
+				return fmt.Errorf("memctrl: groups: handle %d rank/bank %d/%d disagrees with bank index %d", h, g.rankNo, g.bankNo, bk)
+			}
+			if g.bankRef != c.ch.Bank(int(g.rankNo), int(g.bankNo)) || g.rankRef != &c.ch.Ranks[g.rankNo] {
+				return fmt.Errorf("memctrl: groups: handle %d has stale bank/rank pointers", h)
+			}
+			if len(g.reads) == 0 && len(g.writes) == 0 {
+				return fmt.Errorf("memctrl: groups: handle %d is live but empty", h)
+			}
+			key := int64(g.bank)<<32 | int64(int32(g.row))
+			if rows[key] {
+				return fmt.Errorf("memctrl: groups: bank %d row %d has two groups", bk, g.row)
+			}
+			rows[key] = true
+			for _, lst := range [][]*Request{g.reads, g.writes} {
+				for i, r := range lst {
+					if r.Loc.Row != g.row || r.Loc.Rank != int(g.rankNo) || r.Loc.Bank != int(g.bankNo) {
+						return fmt.Errorf("memctrl: groups: request %d filed in wrong group (bank %d row %d)", r.ID, bk, g.row)
+					}
+					if i > 0 && lst[i-1].ID >= r.ID {
+						return fmt.Errorf("memctrl: groups: handle %d list not ID-ascending at request %d", h, r.ID)
+					}
+				}
+			}
+		}
+	}
+	for _, h := range c.grpFree {
+		if h < 0 || int(h) >= len(c.grp) {
+			return fmt.Errorf("memctrl: groups: free list holds out-of-range handle %d", h)
+		}
+		if _, ok := live[h]; ok {
+			return fmt.Errorf("memctrl: groups: handle %d is both live and free", h)
+		}
+	}
+	if len(live)+len(c.grpFree) != len(c.grp) {
+		return fmt.Errorf("memctrl: groups: arena of %d entries splits into %d live + %d free", len(c.grp), len(live), len(c.grpFree))
+	}
+
+	// Every queued request must be filed in its group's kind list, and
+	// the totals must match (so no group holds a stale extra).
+	nFiled := 0
+	for h := range live { //mclint:order-insensitive -- summing sizes
+		nFiled += len(c.grp[h].reads) + len(c.grp[h].writes)
+	}
+	if nFiled != len(c.readQ)+len(c.writeQ) {
+		return fmt.Errorf("memctrl: groups: %d requests filed, %d queued", nFiled, len(c.readQ)+len(c.writeQ))
+	}
+	find := func(r *Request) error {
+		bk := int32(r.Loc.Rank*c.ch.Geo.Banks + r.Loc.Bank)
+		for _, h := range c.bankQ[bk].groups {
+			g := &c.grp[h]
+			if g.row != r.Loc.Row {
+				continue
+			}
+			lst := g.reads
+			if r.Kind.IsWrite() {
+				lst = g.writes
+			}
+			for _, x := range lst {
+				if x == r {
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("memctrl: groups: queued request %d not filed in any group", r.ID)
+	}
+	for _, r := range c.readQ {
+		if err := find(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.writeQ {
+		if err := find(r); err != nil {
+			return err
+		}
+	}
+
+	// Order arrays: exactly the groups holding that kind, ascending by
+	// oldest-member ID.
+	checkOrder := func(name string, order []int32, writes bool) error {
+		seen := make(map[int32]bool, len(order))
+		prev := uint64(0)
+		for i, h := range order {
+			if _, ok := live[h]; !ok {
+				return fmt.Errorf("memctrl: groups: %s holds dead handle %d", name, h)
+			}
+			if seen[h] {
+				return fmt.Errorf("memctrl: groups: %s holds handle %d twice", name, h)
+			}
+			seen[h] = true
+			key := c.orderKey(h, writes)
+			if i > 0 && key <= prev {
+				return fmt.Errorf("memctrl: groups: %s not key-ascending at handle %d", name, h)
+			}
+			prev = key
+		}
+		want := 0
+		for h := range live { //mclint:order-insensitive -- membership count; order picks at most which error reports first
+			n := len(c.grp[h].reads)
+			if writes {
+				n = len(c.grp[h].writes)
+			}
+			if n > 0 {
+				want++
+				if !seen[h] {
+					return fmt.Errorf("memctrl: groups: handle %d missing from %s", h, name)
+				}
+			}
+		}
+		if want != len(order) {
+			return fmt.Errorf("memctrl: groups: %s lists %d groups, want %d", name, len(order), want)
+		}
+		return nil
+	}
+	if err := checkOrder("readOrder", c.readOrder, false); err != nil {
+		return err
+	}
+	if err := checkOrder("writeOrder", c.writeOrder, true); err != nil {
+		return err
+	}
+
+	// Per-bank oldest-ID index.
+	for bk := range c.bankQ {
+		minR, minW := uint64(noID), uint64(noID)
+		for _, h := range c.bankQ[bk].groups {
+			g := &c.grp[h]
+			if len(g.reads) > 0 && g.reads[0].ID < minR {
+				minR = g.reads[0].ID
+			}
+			if len(g.writes) > 0 && g.writes[0].ID < minW {
+				minW = g.writes[0].ID
+			}
+		}
+		if c.bankMinRead[bk] != minR || c.bankMinWrite[bk] != minW {
+			return fmt.Errorf("memctrl: groups: bank %d oldest-ID index (%d, %d), want (%d, %d)",
+				bk, c.bankMinRead[bk], c.bankMinWrite[bk], minR, minW)
+		}
+	}
+
+	// Behavioral pass: the incremental build must reproduce the
+	// reference rebuild bit for bit, in every queue-selection mode the
+	// current state can express.
+	for _, mixed := range []bool{false, true} {
+		ref, refHits := c.buildOptionsRef(now, mixed)
+		c.buildOptions(now, mixed)
+		got, gotHits := c.view.Options, c.view.PendingRowHits
+		if len(got) != len(ref) {
+			return fmt.Errorf("memctrl: groups: mixed=%v: %d options, reference built %d", mixed, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return fmt.Errorf("memctrl: groups: mixed=%v: option %d = %+v, reference built %+v", mixed, i, got[i], ref[i])
+			}
+		}
+		if gotHits != refHits {
+			return fmt.Errorf("memctrl: groups: mixed=%v: PendingRowHits %d, reference counted %d", mixed, gotHits, refHits)
+		}
+	}
+	return nil
+}
