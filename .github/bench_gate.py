@@ -38,6 +38,15 @@ gate. It is informational and never affects the verdict: the ns/op
 geomean is the gate, but a hot path that starts allocating shows up in
 the column before it costs enough wall time to trip it.
 
+Alloc gate: bench_gate.py --alloc-gate REGEX head.txt
+  the annotated-hotpath allocation gate: every benchmark whose name
+  matches REGEX must report a median of exactly 0 allocs/op. Unlike
+  the comparison gate this needs no base file — zero is an absolute
+  contract (mirroring the //mclint:hotpath static invariant), not a
+  ratio. FAILs when a matching benchmark allocates, when the file has
+  no -benchmem data, or when nothing matches the regex (a rename must
+  not silently drop the gate).
+
 Self-test: bench_gate.py --self-test
   exercises the parser and every edge case above on synthetic files;
   CI runs it before trusting the gate.
@@ -140,6 +149,40 @@ def scaling_report(head):
                   f"  speedup {speedup:.2f}x  efficiency {speedup / w:.0%}")
     if not printed:
         print("\nparallel scaling: no .../workers=N benchmark groups found")
+    return 0
+
+
+def alloc_gate(pattern, head_path):
+    """Gate matching benchmarks on exactly 0 median allocs/op.
+
+    Returns the process exit code (0 pass, 1 fail). The gate is
+    absolute — no base file — because the annotated hot paths promise
+    allocation-freedom, not merely no-regression. Missing -benchmem
+    data or an empty match set fails loudly: both would otherwise turn
+    the gate into a no-op without anyone noticing.
+    """
+    rx = re.compile(pattern)
+    allocs = alloc_medians(head_path)
+    if not allocs:
+        print(f"FAIL: {head_path} has no -benchmem allocs/op data to gate")
+        return 1
+    matched = sorted(name for name in allocs if rx.search(name))
+    if not matched:
+        print(f"FAIL: no benchmark matches alloc-gate pattern {pattern!r} "
+              f"(a rename must not silently drop the gate)")
+        return 1
+    bad = []
+    print(f"alloc gate (must be exactly 0 allocs/op): {len(matched)} benchmark(s)")
+    for name in matched:
+        verdict = "ok" if allocs[name] == 0 else "FAIL"
+        print(f"  {name}: {allocs[name]:.0f} allocs/op {verdict}")
+        if allocs[name] != 0:
+            bad.append(name)
+    if bad:
+        print(f"FAIL: {len(bad)} hot-path benchmark(s) allocate; "
+              f"the //mclint:hotpath contract requires 0 allocs/op")
+        return 1
+    print("PASS")
     return 0
 
 
@@ -273,6 +316,26 @@ def self_test():
     # 11. A benchmem head against a plain base prints one-sided, still
     # gated only on ns/op.
     check("mixed benchmem/plain pair", run(b, memhead), 0)
+    # 12. The standalone alloc gate: zero passes, any allocation fails,
+    # missing benchmem data fails, and an empty match set fails rather
+    # than silently passing.
+    zeroed = ["BenchmarkHot/park 100 50.0 ns/op 0 B/op 0 allocs/op",
+              "BenchmarkHot/build 100 80.0 ns/op 0 B/op 0 allocs/op",
+              "BenchmarkCold/setup 10 900.0 ns/op 4096 B/op 12 allocs/op"]
+    leaky = ["BenchmarkHot/park 100 50.0 ns/op 153 B/op 1 allocs/op",
+             "BenchmarkHot/build 100 80.0 ns/op 0 B/op 0 allocs/op"]
+    zero_file, leak_file, plain_file = bench_file(zeroed), bench_file(leaky), bench_file(b)
+    try:
+        check("alloc gate: zero passes", alloc_gate(r"BenchmarkHot/", zero_file), 0)
+        check("alloc gate: cold benchmarks outside the pattern ignored",
+              alloc_gate(r"BenchmarkHot/", zero_file), 0)
+        check("alloc gate: allocation fails", alloc_gate(r"BenchmarkHot/", leak_file), 1)
+        check("alloc gate: no benchmem data fails", alloc_gate(r"BenchmarkHot/", plain_file), 1)
+        check("alloc gate: empty match fails", alloc_gate(r"BenchmarkRenamed/", zero_file), 1)
+    finally:
+        os.unlink(zero_file)
+        os.unlink(leak_file)
+        os.unlink(plain_file)
 
     if failures:
         print(f"self-test FAILED: {', '.join(failures)}")
@@ -287,6 +350,8 @@ def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--scaling":
         scaling_report(medians(sys.argv[2]))
         sys.exit(allocs_report({}, alloc_medians(sys.argv[2])))
+    if len(sys.argv) == 4 and sys.argv[1] == "--alloc-gate":
+        sys.exit(alloc_gate(sys.argv[2], sys.argv[3]))
     if len(sys.argv) < 3:
         sys.exit(__doc__)
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.10

@@ -1,6 +1,9 @@
-// Command mclint runs the repository's determinism-invariant analyzer
-// suite (internal/lint: maprange, nodeterm, epochbump, horizonarm)
-// over the named package patterns and exits non-zero on any finding.
+// Command mclint runs the repository's determinism- and
+// lifetime-invariant analyzer suite (internal/lint: maprange,
+// nodeterm, epochbump, horizonarm, shardsafe, groupsync, freelive,
+// hotalloc) over the named package patterns and exits non-zero on any
+// finding. The interprocedural analyzers share one module-wide call
+// graph (internal/lint/callgraph), built once per run.
 //
 // Usage:
 //
@@ -9,7 +12,9 @@
 //
 // Diagnostics print as file:line:col: message (analyzer). See the
 // README section "Determinism lint" for the invariants and the
-// //mclint:order-insensitive justification directive.
+// justification directives (//mclint:order-insensitive,
+// //mclint:owns, //mclint:alloc-ok, ...); every directive must carry
+// a `-- <justification>` explaining why the exemption is sound.
 package main
 
 import (

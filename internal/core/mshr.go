@@ -14,6 +14,7 @@ import "math/bits"
 // map (the fast-forward equivalence suite enforces bit-identical
 // metrics either way).
 type mshrTable struct {
+	//mclint:owns -- fill removes the entry from the table (by address) before pushing it onto the free list; an entry is resident here for exactly its outstanding-miss life
 	entries []*mshrEntry
 	mask    uint64
 	shift   uint

@@ -152,6 +152,8 @@ func (s *System) mergeCtrlPhase(now uint64) bool {
 // file comment). Runs on the coordinator after the phase, in every
 // kernel mode — the serial kernel buffers through the same path so
 // workers=1 and workers=N share one semantics.
+//
+//mclint:hotpath
 func (s *System) drainFillBufs() {
 	merged := false
 	for ch := range s.fillBuf {

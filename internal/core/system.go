@@ -47,7 +47,8 @@ type pendingIO struct {
 // path (crossbar + miss handling), applied at cycle `at`.
 type delayedFill struct {
 	at uint64
-	e  *mshrEntry
+	//mclint:owns -- a fill holds its entry only while queued on the return path; deliverFills/drainFillBufs pop the fill and complete it before fill() (the sole recycle point) can run for that entry
+	e *mshrEntry
 }
 
 // primeRNG is a tiny xorshift generator for cache priming, independent
@@ -133,6 +134,7 @@ type System struct {
 	// list and the next primary miss reuses it — struct, waiter
 	// slices, and its OnDone closure (created once per entry), so the
 	// steady-state miss path allocates nothing.
+	//mclint:owns -- freeMSHR IS the free list; pushing here is the recycle point itself
 	freeMSHR []*mshrEntry
 
 	// measurement
@@ -377,6 +379,8 @@ func (s *System) Store(now uint64, core int, addr uint64) cpu.AccessResult {
 }
 
 // miss handles an LLC miss for a load or store.
+//
+//mclint:hotpath
 func (s *System) miss(now uint64, core int, addr uint64, store bool) cpu.AccessResult {
 	if e := s.mshr.get(addr); e != nil {
 		// Secondary miss: merge into the outstanding fill.
@@ -466,6 +470,8 @@ func (s *System) insertFill(at uint64, e *mshrEntry) {
 }
 
 // deliverFills applies all fills due by `now`.
+//
+//mclint:hotpath
 func (s *System) deliverFills(now uint64) {
 	for len(s.fillq) > 0 && s.fillq[0].at <= now {
 		e := s.fillq[0].e
@@ -511,8 +517,9 @@ func (s *System) newMSHREntry(addr uint64, ten, ch int) *mshrEntry {
 		e.loads, e.stores = e.loads[:0], e.stores[:0]
 		return e
 	}
-	e := &mshrEntry{addr: addr, tenant: ten, ch: ch}
-	e.onDone = func(at uint64) {
+	e := &mshrEntry{addr: addr, tenant: ten, ch: ch} //mclint:alloc-ok -- free-list cold path: minted only until the MSHR working set exists; steady-state misses pop freeMSHR above
+	//mclint:owns -- created once per entry and recycled with it; the closure re-reads e's fields at fire time, and fires only while the entry is resident in the table
+	e.onDone = func(at uint64) { //mclint:alloc-ok -- the closure is created once per entry (cold path) and recycled with it; reuse re-reads e.ch at fire time instead of re-closing
 		s.completeFill(e.ch, at+uint64(s.cfg.MemPathLatency), e)
 	}
 	return e

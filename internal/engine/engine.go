@@ -96,6 +96,8 @@ func (q *Queue) Armed(id ID) uint64 { return q.at[id] }
 // Never detaches the source. Arming in the past or present is a bug in
 // the caller — a wake-up for the current cycle must be handled
 // directly, not queued — and panics.
+//
+//mclint:hotpath
 func (q *Queue) Arm(id ID, at uint64) {
 	if at == q.at[id] {
 		return
@@ -122,6 +124,8 @@ func (q *Queue) Disarm(id ID) { q.Arm(id, Never) }
 
 // NextTime returns the earliest armed wake time (Never when nothing is
 // armed). It never returns a time before the clock.
+//
+//mclint:hotpath
 func (q *Queue) NextTime() uint64 {
 	t := Never
 	if q.occ != 0 {
@@ -140,10 +144,14 @@ func (q *Queue) NextTime() uint64 {
 // reach, but never pass, an armed wake-up (arms are strictly in the
 // future), so no event-loss check is needed — this is the hot-path
 // complement to AdvanceTo.
+//
+//mclint:hotpath
 func (q *Queue) Step() { q.now++ }
 
 // HasDue reports whether any armed wake-up is due at the current
 // clock; the O(1) guard callers use before PopDue.
+//
+//mclint:hotpath
 func (q *Queue) HasDue() bool {
 	return q.occ&(1<<(q.now%ringSlots)) != 0 ||
 		(len(q.heap) > 0 && q.at[q.heap[0]] <= q.now)
@@ -153,6 +161,8 @@ func (q *Queue) HasDue() bool {
 // monotonic, and may not jump past an armed wake-up: callers jump to
 // min(NextTime, bound). Both violations panic — they would silently
 // lose events.
+//
+//mclint:hotpath
 func (q *Queue) AdvanceTo(t uint64) {
 	if t == q.now {
 		return
@@ -171,6 +181,8 @@ func (q *Queue) AdvanceTo(t uint64) {
 // clock never passes an armed wake-up, all due sources share the
 // current cycle as their wake time and the order reduces to ascending
 // ID — the fixed component rank.
+//
+//mclint:hotpath
 func (q *Queue) PopDue(buf []ID) []ID {
 	out := buf
 	s := q.now % ringSlots
@@ -216,7 +228,7 @@ func (q *Queue) detach(id ID) {
 	slot := q.ring[s]
 	for i, x := range slot {
 		if x == id {
-			q.ring[s] = append(slot[:i], slot[i+1:]...)
+			q.ring[s] = append(slot[:i], slot[i+1:]...) //mclint:alloc-ok -- compaction within the slot's existing backing array: len shrinks by one, capacity always suffices, so append never grows
 			break
 		}
 	}

@@ -33,6 +33,48 @@ type Diagnostic struct {
 	Message string
 }
 
+// PackageInfo describes one source-loaded package of the current run.
+// Drivers that load several packages publish all of them on every Pass
+// (AllPackages) so module-wide analyses — the interprocedural call
+// graph, cross-package reachability — can see past the single package
+// a Pass presents.
+type PackageInfo struct {
+	PkgPath   string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Cache is a run-wide memo shared by every Pass of one driver run.
+// Module-wide computations (the callgraph package's graph) key their
+// results here so the first analyzer to need them pays for them once.
+type Cache struct {
+	m map[string]interface{}
+}
+
+// NewCache returns an empty run-wide cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]interface{})} }
+
+// Get returns the cached value for key.
+func (c *Cache) Get(key string) (interface{}, bool) {
+	if c == nil || c.m == nil {
+		return nil, false
+	}
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores v under key.
+func (c *Cache) Put(key string, v interface{}) {
+	if c == nil {
+		return
+	}
+	if c.m == nil {
+		c.m = make(map[string]interface{})
+	}
+	c.m[key] = v
+}
+
 // Pass presents one type-checked package to an Analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -40,6 +82,16 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// AllPackages lists every source-loaded package of the run,
+	// including the one this Pass presents. Nil when the driver loads
+	// one package at a time; module-wide analyses degrade to
+	// single-package scope in that case.
+	AllPackages []*PackageInfo
+
+	// Cache is the run-wide memo shared across packages and analyzers
+	// of one driver run (may be nil for ad-hoc passes).
+	Cache *Cache
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
@@ -82,17 +134,13 @@ func EffectivePath(path string) string {
 	return "cloudmc/testdata/" + rest
 }
 
-// directivesFor lazily scans a file's comments for mclint directives.
-// The map is keyed by the line on which the directive comment ends, so
-// both same-line trailing comments and a comment on the line above a
-// statement (including a declaration's doc comment) attach naturally.
-func (p *Pass) directivesFor(f *ast.File) map[int][]string {
-	if p.directives == nil {
-		p.directives = make(map[*ast.File]map[int][]string)
-	}
-	if m, ok := p.directives[f]; ok {
-		return m
-	}
+// DirectiveLines scans one file's comments for mclint directives. The
+// returned map is keyed by the line on which the directive comment
+// ends, so both same-line trailing comments and a comment on the line
+// above a statement (including a declaration's doc comment) attach
+// naturally. Trailing justifications ("directive -- reason") are
+// stripped.
+func DirectiveLines(fset *token.FileSet, f *ast.File) map[int][]string {
 	m := make(map[int][]string)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -106,10 +154,23 @@ func (p *Pass) directivesFor(f *ast.File) map[int][]string {
 				d = d[:k]
 			}
 			d = strings.TrimSpace(d)
-			line := p.Fset.Position(c.End()).Line
+			line := fset.Position(c.End()).Line
 			m[line] = append(m[line], d)
 		}
 	}
+	return m
+}
+
+// directivesFor lazily scans a file's comments for mclint directives,
+// memoizing per file.
+func (p *Pass) directivesFor(f *ast.File) map[int][]string {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]string)
+	}
+	if m, ok := p.directives[f]; ok {
+		return m
+	}
+	m := DirectiveLines(p.Fset, f)
 	p.directives[f] = m
 	return m
 }

@@ -46,6 +46,16 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
+	all := make([]*analysis.PackageInfo, len(pkgs))
+	for i, pkg := range pkgs {
+		all[i] = &analysis.PackageInfo{
+			PkgPath:   pkg.PkgPath,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+	}
+	cache := analysis.NewCache()
 	for _, pkg := range pkgs {
 		var wants []*expectation
 		for _, f := range pkg.Files {
@@ -79,12 +89,14 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			TypesInfo:   pkg.TypesInfo,
+			AllPackages: all,
+			Cache:       cache,
+			Report:      func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)

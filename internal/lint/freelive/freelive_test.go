@@ -1,0 +1,12 @@
+package freelive_test
+
+import (
+	"testing"
+
+	"cloudmc/internal/lint/analysistest"
+	"cloudmc/internal/lint/freelive"
+)
+
+func TestFreelive(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture("memctrl"), freelive.Analyzer)
+}

@@ -1,0 +1,135 @@
+// Package memctrl is the freelive analyzer fixture: a miniature of
+// the real controller's free-list machinery with stores that leak
+// recycled pointers past their recycle point, stores that are part of
+// the ownership discipline (annotated //mclint:owns), and benign
+// local handling that must stay silent.
+package memctrl
+
+// Request mirrors the recycled request type.
+type Request struct {
+	ID   uint64
+	Addr uint64
+}
+
+// group mirrors the recycled candidate-group arena entry.
+type group struct {
+	row uint64
+}
+
+// lastSeen is a package-level parking spot: flagged.
+var lastSeen *Request
+
+// sample is a struct whose composite literal parks a request.
+type sample struct {
+	id  uint64
+	req *Request
+}
+
+// Controller mirrors the free-list owner.
+type Controller struct {
+	//mclint:owns -- fixture: requests are popped from readQ before they can recycle
+	readQ []*Request
+
+	leakQ   []*Request
+	last    *Request
+	scratch *Request
+	byAddr  map[uint64]*Request
+	hot     *group
+
+	//mclint:owns -- fixture: the free list is the recycle point itself
+	freeReq []*Request
+}
+
+// Enqueue exercises field stores: the annotated readQ is quiet, every
+// bare destination fires.
+func (c *Controller) Enqueue(r *Request) {
+	c.readQ = append(c.readQ, r)
+	c.leakQ = append(c.leakQ, r) // want `tracked \*Request escapes into field leakQ`
+	c.last = r                   // want `escapes into field last`
+	c.byAddr[r.Addr] = r         // want `escapes into field byAddr`
+	lastSeen = r                 // want `escapes into package-level variable lastSeen`
+}
+
+// Stash shows site-level suppression on an otherwise-flagged store.
+func (c *Controller) Stash(r *Request) {
+	c.scratch = r //mclint:owns -- fixture: cleared before the end of the same tick
+}
+
+// Cache parks a recycled group handle target: flagged.
+func (c *Controller) Cache(g *group) {
+	c.hot = g // want `tracked \*group escapes into field hot`
+}
+
+// Recycle is the discipline itself: nil-clearing and self-reslicing a
+// field stay silent, and the push into the annotated free list too.
+func (c *Controller) Recycle(r *Request) *Request {
+	c.freeReq = append(c.freeReq, r)
+	n := len(c.freeReq)
+	out := c.freeReq[n-1]
+	c.freeReq[n-1] = nil
+	c.freeReq = c.freeReq[:n-1]
+	return out
+}
+
+// Record parks a request in a composite literal: flagged at the field.
+func Record(r *Request) sample {
+	return sample{id: r.ID, req: r} // want `escapes into field req`
+}
+
+// Snapshot parks requests in a slice literal: flagged.
+func Snapshot(r *Request) []*Request {
+	return []*Request{r} // want `escapes into a slice literal`
+}
+
+// Defer captures a tracked pointer in a closure: flagged at the use.
+func Defer(r *Request) func() uint64 {
+	return func() uint64 {
+		return r.ID // want `closure captures tracked \*Request r`
+	}
+}
+
+// DeferOwned is the same capture with a justified suppression.
+func DeferOwned(r *Request) func() uint64 {
+	return func() uint64 { return r.ID } //mclint:owns -- fixture: the closure provably fires before the recycle point
+}
+
+// Pick only moves tracked pointers through locals and returns: silent.
+func Pick(rs []*Request) *Request {
+	var best *Request
+	for _, r := range rs {
+		if best == nil || r.ID < best.ID {
+			best = r
+		}
+	}
+	return best
+}
+
+// Policy mirrors the real scheduling interface whose lifetime
+// contract freelive enforces on implementations.
+type Policy interface {
+	Name() string
+	OnComplete(r *Request, now uint64)
+}
+
+// stickyPolicy keys per-request state by pointer: flagged at the
+// field (and the store inside OnComplete fires the escape rule too).
+type stickyPolicy struct {
+	last *Request // want `keys state by pointer: field last`
+}
+
+func (p *stickyPolicy) Name() string { return "sticky" }
+
+func (p *stickyPolicy) OnComplete(r *Request, now uint64) {
+	p.last = r // want `escapes into field last`
+}
+
+// idPolicy keys by value (Request.ID), per the contract: silent.
+type idPolicy struct {
+	lastID uint64
+}
+
+func (p *idPolicy) Name() string { return "id" }
+
+func (p *idPolicy) OnComplete(r *Request, now uint64) {
+	p.lastID = r.ID
+}

@@ -22,6 +22,7 @@ import (
 	"go/types"
 
 	"cloudmc/internal/lint/analysis"
+	"cloudmc/internal/lint/callgraph"
 )
 
 // Analyzer is the groupsync maintenance-contract check.
@@ -55,25 +56,30 @@ func run(pass *analysis.Pass) error {
 	if pass.EffectivePath() != "cloudmc/internal/memctrl" {
 		return nil
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if syncCalls[fd.Name.Name] {
-				continue // the maintenance paths themselves
-			}
-			checkFunc(pass, fd)
+	g := callgraph.Of(pass)
+	for _, n := range g.PackageNodes(pass.Pkg) {
+		if syncCalls[n.Name()] {
+			continue // the maintenance paths themselves
 		}
+		checkFunc(pass, n)
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, n *callgraph.Node) {
+	fd := n.Decl
 	var firstMut token.Pos
 	var mutDesc string
 	synced := false
+
+	// Discharge: any method call naming a maintenance entry point,
+	// from the graph's call list.
+	for _, c := range n.Calls {
+		if _, isSel := c.Site.Fun.(*ast.SelectorExpr); isSel && syncCalls[c.Name] {
+			synced = true
+			break
+		}
+	}
 
 	note := func(expr ast.Expr) {
 		tname, field, ok := guardedTarget(pass, expr)
@@ -86,8 +92,8 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 	}
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range s.Lhs {
 				note(lhs)
@@ -100,10 +106,6 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			// pointers), so it carries the same obligation.
 			if s.Op == token.AND {
 				note(s.X)
-			}
-		case *ast.CallExpr:
-			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && syncCalls[sel.Sel.Name] {
-				synced = true
 			}
 		}
 		return true

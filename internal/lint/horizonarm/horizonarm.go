@@ -18,18 +18,19 @@
 //
 // The analysis is a reachability closure over the package's static
 // call graph (function literals count as part of their enclosing
-// declaration), checked per exported function: an entry point whose
-// closure contains an obligation but none of its arming primitives is
-// flagged. Unexported helpers are deliberately exempt — stepKernel
-// pops the fill queue and re-arms in its caller — because the
-// contract binds the boundaries other packages can call into.
+// declaration, via the shared callgraph substrate), checked per
+// exported function: an entry point whose closure contains an
+// obligation but none of its arming primitives is flagged. Unexported
+// helpers are deliberately exempt — stepKernel pops the fill queue
+// and re-arms in its caller — because the contract binds the
+// boundaries other packages can call into.
 package horizonarm
 
 import (
 	"go/ast"
-	"go/types"
 
 	"cloudmc/internal/lint/analysis"
+	"cloudmc/internal/lint/callgraph"
 )
 
 // Analyzer is the horizonarm wake-up arming check.
@@ -42,11 +43,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // funcFacts is what one function body contributes to the closure.
+// Callee resolution and the reachability walk live in the shared
+// callgraph substrate; only the domain facts are collected here.
 type funcFacts struct {
-	decl *ast.FuncDecl
-	// callees are same-package functions this body statically calls.
-	callees []*types.Func
-
 	callsEnqueue  bool // call to a method named EnqueueRead/EnqueueWrite
 	mutatesFillq  bool // assignment through a selector named fillq
 	callsNotify   bool // call to notifyCtrl
@@ -64,76 +63,79 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 
-	facts := make(map[*types.Func]*funcFacts)
-	var order []*types.Func
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			facts[obj] = collect(pass, fd)
-			order = append(order, obj)
-		}
+	g := callgraph.Of(pass)
+	nodes := g.PackageNodes(pass.Pkg)
+	facts := make(map[*callgraph.Node]*funcFacts, len(nodes))
+	for _, n := range nodes {
+		facts[n] = collect(n)
 	}
 
-	for _, obj := range order {
-		ff := facts[obj]
-		if !obj.Exported() {
+	for _, n := range nodes {
+		if !n.Func.Exported() {
 			continue
 		}
-		cl := closure(obj, facts)
-		if pass.Suppressed(ff.decl, "allow horizonarm") {
+		if pass.Suppressed(n.Decl, "allow horizonarm") {
 			continue
 		}
+		// The arming contract is intra-package: a callee in another
+		// package contributes nothing, exactly as before the shared
+		// graph (its own package's obligations are its own pass's).
+		var cl funcFacts
+		g.Closure(n, func(m *callgraph.Node) bool {
+			ff, ok := facts[m]
+			if !ok {
+				return false
+			}
+			cl.callsEnqueue = cl.callsEnqueue || ff.callsEnqueue
+			cl.mutatesFillq = cl.mutatesFillq || ff.mutatesFillq
+			cl.callsNotify = cl.callsNotify || ff.callsNotify
+			cl.callsArmFill = cl.callsArmFill || ff.callsArmFill
+			cl.mutatesQueues = cl.mutatesQueues || ff.mutatesQueues
+			cl.callsNote = cl.callsNote || ff.callsNote
+			cl.setsWakeAt = cl.setsWakeAt || ff.setsWakeAt
+			return true
+		})
 		if isCore {
 			if cl.callsEnqueue && !cl.callsNotify {
-				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s reaches Controller.EnqueueRead/EnqueueWrite "+
-					"but never re-arms the kernel wake-up queue (notifyCtrl missing from its call path)", obj.Name())
+				pass.Reportf(n.Decl.Name.Pos(), "exported entry point %s reaches Controller.EnqueueRead/EnqueueWrite "+
+					"but never re-arms the kernel wake-up queue (notifyCtrl missing from its call path)", n.Name())
 			}
 			if cl.mutatesFillq && !cl.callsArmFill {
-				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s mutates the fill queue "+
-					"but never re-arms the fill source (armFill missing from its call path)", obj.Name())
+				pass.Reportf(n.Decl.Name.Pos(), "exported entry point %s mutates the fill queue "+
+					"but never re-arms the fill source (armFill missing from its call path)", n.Name())
 			}
 		}
 		if isMemctrl {
 			if cl.mutatesQueues && !(cl.callsNote || cl.setsWakeAt) {
-				pass.Reportf(ff.decl.Name.Pos(), "exported entry point %s mutates the request queues "+
+				pass.Reportf(n.Decl.Name.Pos(), "exported entry point %s mutates the request queues "+
 					"but never re-establishes the event horizon (neither noteEnqueue nor a wakeAt write "+
-					"in its call path)", obj.Name())
+					"in its call path)", n.Name())
 			}
 		}
 	}
 	return nil
 }
 
-// collect walks one function body (including its function literals)
-// and records its direct facts.
-func collect(pass *analysis.Pass, fd *ast.FuncDecl) *funcFacts {
-	ff := &funcFacts{decl: fd}
-	seen := make(map[*types.Func]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			name, callee := calleeOf(pass, s)
-			switch name {
-			case "EnqueueRead", "EnqueueWrite":
-				ff.callsEnqueue = true
-			case "notifyCtrl":
-				ff.callsNotify = true
-			case "armFill":
-				ff.callsArmFill = true
-			case "noteEnqueue":
-				ff.callsNote = true
-			}
-			if callee != nil && callee.Pkg() == pass.Pkg && !seen[callee] {
-				seen[callee] = true
-				ff.callees = append(ff.callees, callee)
-			}
+// collect records one node's direct facts: arming/obligation calls
+// from the graph's call sites (matched by name, so cross-package
+// calls like core's ctrl.EnqueueRead count), mutations from a body
+// walk.
+func collect(n *callgraph.Node) *funcFacts {
+	ff := &funcFacts{}
+	for _, c := range n.Calls {
+		switch c.Name {
+		case "EnqueueRead", "EnqueueWrite":
+			ff.callsEnqueue = true
+		case "notifyCtrl":
+			ff.callsNotify = true
+		case "armFill":
+			ff.callsArmFill = true
+		case "noteEnqueue":
+			ff.callsNote = true
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range s.Lhs {
 				noteTarget(ff, lhs)
@@ -175,53 +177,4 @@ func noteTarget(ff *funcFacts, expr ast.Expr) {
 	case "wakeAt":
 		ff.setsWakeAt = true
 	}
-}
-
-// calleeOf resolves a call expression to (method/function name, callee
-// object if statically known).
-func calleeOf(pass *analysis.Pass, call *ast.CallExpr) (string, *types.Func) {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
-			return fun.Name, fn
-		}
-		return fun.Name, nil
-	case *ast.SelectorExpr:
-		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
-			return fun.Sel.Name, fn
-		}
-		return fun.Sel.Name, nil
-	}
-	return "", nil
-}
-
-// closure folds facts over the transitive same-package call graph of
-// root. Missing bodies (declarations satisfied in assembly, interface
-// methods) contribute nothing.
-func closure(root *types.Func, facts map[*types.Func]*funcFacts) funcFacts {
-	var out funcFacts
-	visited := make(map[*types.Func]bool)
-	var visit func(fn *types.Func)
-	visit = func(fn *types.Func) {
-		if visited[fn] {
-			return
-		}
-		visited[fn] = true
-		ff, ok := facts[fn]
-		if !ok {
-			return
-		}
-		out.callsEnqueue = out.callsEnqueue || ff.callsEnqueue
-		out.mutatesFillq = out.mutatesFillq || ff.mutatesFillq
-		out.callsNotify = out.callsNotify || ff.callsNotify
-		out.callsArmFill = out.callsArmFill || ff.callsArmFill
-		out.mutatesQueues = out.mutatesQueues || ff.mutatesQueues
-		out.callsNote = out.callsNote || ff.callsNote
-		out.setsWakeAt = out.setsWakeAt || ff.setsWakeAt
-		for _, c := range ff.callees {
-			visit(c)
-		}
-	}
-	visit(root)
-	return out
 }

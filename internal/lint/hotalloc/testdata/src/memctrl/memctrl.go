@@ -1,0 +1,83 @@
+// Package memctrl is the hotalloc analyzer fixture: one annotated hot
+// path whose call closure allocates in every flagged way, a justified
+// //mclint:alloc-ok cold site, a death path that may allocate, and a
+// cold function free to allocate outside the closure.
+package memctrl
+
+// Request is a minimal queued request.
+type Request struct {
+	ID   uint64
+	Addr uint64
+}
+
+// Controller carries the hot-path state.
+type Controller struct {
+	readQ   []*Request
+	byAddr  map[uint64]*Request
+	scratch []uint64
+	freeReq []*Request
+	name    string
+}
+
+// Tick is the annotated hot path: its own body and everything it
+// reaches through the call graph must be allocation-free.
+//
+//mclint:hotpath
+func (c *Controller) Tick(now uint64) {
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, now)
+	c.byAddr = map[uint64]*Request{} // want `map literal in hot path`
+	c.rebuild(now)
+	c.observe(now)
+	c.deferwork(now)
+	c.guard(now)
+	c.grow()
+}
+
+// rebuild allocates in a callee of the hot path: every site flags,
+// attributed back to Tick.
+func (c *Controller) rebuild(now uint64) {
+	buf := make([]uint64, 0, 4) // want `make in hot path`
+	buf = append(buf, now)
+	other := append(buf, now) // want `append to a different destination`
+	_ = other
+	r := new(Request)     // want `new in hot path`
+	c.byAddr[r.Addr] = r  // want `map write`
+	_ = []uint64{now}     // want `slice literal`
+	c.name = c.name + "x" // want `string concatenation`
+}
+
+// observe boxes a concrete value into an interface argument.
+func (c *Controller) observe(now uint64) {
+	sink(now) // want `value boxed into interface argument`
+}
+
+func sink(v interface{}) {}
+
+// deferwork allocates a closure on the hot path.
+func (c *Controller) deferwork(now uint64) {
+	f := func() uint64 { return now } // want `function literal \(closure allocation\)`
+	_ = f()
+}
+
+// guard's panic argument allocates, but death paths are exempt.
+func (c *Controller) guard(now uint64) {
+	if now == 0 {
+		panic("memctrl: zero cycle in " + c.name)
+	}
+}
+
+// grow's one-time sizing is suppressed with a justification.
+func (c *Controller) grow() {
+	if c.freeReq == nil {
+		c.freeReq = make([]*Request, 0, 8) //mclint:alloc-ok -- fixture: one-time arena sizing on the first tick only
+	}
+}
+
+// Reset is cold — not reachable from the hot path — and free to
+// allocate.
+func (c *Controller) Reset() {
+	c.byAddr = make(map[uint64]*Request, 8)
+	c.readQ = nil
+	c.name = c.name + " (reset)"
+}

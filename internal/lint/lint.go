@@ -5,8 +5,12 @@
 // points re-arm the kernel wake-up queue), shardsafe (shard-confined
 // kernel code neither calls merge-only primitives nor writes package
 // globals), groupsync (memctrl queue-membership mutations update the
-// incremental candidate-group index). cmd/mclint drives the
-// suite over package patterns; selfcheck_test.go keeps the module
+// incremental candidate-group index), freelive (no pointer to a
+// free-listed object survives its recycle point), hotalloc
+// (//mclint:hotpath closures stay allocation-free). The
+// interprocedural analyzers share one module-wide call graph
+// (internal/lint/callgraph), built once per run. cmd/mclint drives
+// the suite over package patterns; selfcheck_test.go keeps the module
 // clean from `go test ./...`; the testdata/broken fixtures prove each
 // analyzer still fires.
 package lint
@@ -17,8 +21,10 @@ import (
 
 	"cloudmc/internal/lint/analysis"
 	"cloudmc/internal/lint/epochbump"
+	"cloudmc/internal/lint/freelive"
 	"cloudmc/internal/lint/groupsync"
 	"cloudmc/internal/lint/horizonarm"
+	"cloudmc/internal/lint/hotalloc"
 	"cloudmc/internal/lint/loader"
 	"cloudmc/internal/lint/maprange"
 	"cloudmc/internal/lint/nodeterm"
@@ -34,6 +40,8 @@ func Analyzers() []*analysis.Analyzer {
 		horizonarm.Analyzer,
 		shardsafe.Analyzer,
 		groupsync.Analyzer,
+		freelive.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 
@@ -56,15 +64,31 @@ func Run(dir string, patterns ...string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Publish the whole run on every pass so module-wide analyses
+	// (the shared call graph, hotalloc's cross-package reachability)
+	// can see past the single package; one cache memoizes the graph
+	// across all (package, analyzer) passes.
+	all := make([]*analysis.PackageInfo, len(pkgs))
+	for i, pkg := range pkgs {
+		all[i] = &analysis.PackageInfo{
+			PkgPath:   pkg.PkgPath,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+	}
+	cache := analysis.NewCache()
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range Analyzers() {
 			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				AllPackages: all,
+				Cache:       cache,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				findings = append(findings, Finding{

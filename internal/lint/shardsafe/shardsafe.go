@@ -31,6 +31,7 @@ import (
 	"go/types"
 
 	"cloudmc/internal/lint/analysis"
+	"cloudmc/internal/lint/callgraph"
 )
 
 // Analyzer is the shardsafe shard-confinement check.
@@ -51,105 +52,82 @@ type violation struct {
 }
 
 // funcFacts is what one function body contributes to the closure.
+// Callee resolution and the reachability walk live in the shared
+// callgraph substrate; only the candidate violations are collected
+// here.
 type funcFacts struct {
-	decl       *ast.FuncDecl
-	callees    []*types.Func
 	violations []violation
 }
 
 func run(pass *analysis.Pass) error {
-	// First pass: index every declared function and resolve which
-	// carry the merge-only marker, so call sites can be classified.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	mergeOnly := make(map[*types.Func]bool)
-	var order []*types.Func
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[obj] = fd
-			order = append(order, obj)
-			if pass.Suppressed(fd, "merge-only") {
-				mergeOnly[obj] = true
-			}
+	g := callgraph.Of(pass)
+	nodes := g.PackageNodes(pass.Pkg)
+
+	// Resolve which declarations carry the merge-only marker, so call
+	// sites can be classified.
+	mergeOnly := make(map[*callgraph.Node]bool)
+	for _, n := range nodes {
+		if pass.Suppressed(n.Decl, "merge-only") {
+			mergeOnly[n] = true
 		}
 	}
 
-	// Second pass: collect per-function facts (callees and candidate
-	// violations).
-	facts := make(map[*types.Func]*funcFacts)
-	for _, obj := range order {
-		facts[obj] = collect(pass, decls[obj], mergeOnly)
+	// Collect per-function facts (candidate violations).
+	facts := make(map[*callgraph.Node]*funcFacts, len(nodes))
+	for _, n := range nodes {
+		facts[n] = collect(pass, n, mergeOnly)
 	}
 
 	// Report each violation once, attributed to the first shard root
-	// (in declaration order) whose closure reaches it.
+	// (in declaration order) whose closure reaches it. Merge-only
+	// bodies never join the shard closure: the call site itself is
+	// the finding (or its suppression), and their internals are
+	// coordinator code by declaration. The contract is intra-package,
+	// so the walk prunes at package boundaries.
 	reported := make(map[token.Pos]bool)
-	for _, obj := range order {
-		ff := facts[obj]
-		if !pass.Suppressed(ff.decl, "shard") {
+	for _, root := range nodes {
+		if !pass.Suppressed(root.Decl, "shard") {
 			continue
 		}
-		visited := make(map[*types.Func]bool)
-		var visit func(fn *types.Func)
-		visit = func(fn *types.Func) {
-			if visited[fn] {
-				return
-			}
-			visited[fn] = true
-			cf, ok := facts[fn]
-			if !ok {
-				return
+		g.Closure(root, func(m *callgraph.Node) bool {
+			cf, ok := facts[m]
+			if !ok || mergeOnly[m] {
+				return false
 			}
 			for _, v := range cf.violations {
 				if reported[v.pos] {
 					continue
 				}
 				reported[v.pos] = true
-				pass.Reportf(v.pos, "%s (in the shard-confined closure of %s)", v.msg, obj.Name())
+				pass.Reportf(v.pos, "%s (in the shard-confined closure of %s)", v.msg, root.Name())
 			}
-			for _, c := range cf.callees {
-				visit(c)
-			}
-		}
-		visit(obj)
+			return true
+		})
 	}
 	return nil
 }
 
-// collect walks one function body (including its function literals)
-// and records same-package callees plus candidate violations.
-// Suppression (//mclint:shard-ok) is resolved here, at the site.
-func collect(pass *analysis.Pass, fd *ast.FuncDecl, mergeOnly map[*types.Func]bool) *funcFacts {
-	ff := &funcFacts{decl: fd}
-	seen := make(map[*types.Func]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			callee := calleeOf(pass, s)
-			if callee == nil {
-				return true
-			}
-			if mergeOnly[callee] && !pass.Suppressed(s, "shard-ok") {
-				ff.violations = append(ff.violations, violation{
-					pos: s.Pos(),
-					msg: "call to merge-only " + callee.Name() +
-						" — buffer the effect per shard and apply it after the barrier",
-				})
-			}
-			// Merge-only bodies never join the shard closure: the
-			// call site itself is the finding (or its suppression),
-			// and their internals are coordinator code by declaration.
-			if callee.Pkg() == pass.Pkg && !mergeOnly[callee] && !seen[callee] {
-				seen[callee] = true
-				ff.callees = append(ff.callees, callee)
-			}
+// collect records one node's candidate violations: merge-only call
+// sites from the graph's call list, package-variable writes from a
+// body walk. Suppression (//mclint:shard-ok) is resolved here, at the
+// site.
+func collect(pass *analysis.Pass, n *callgraph.Node, mergeOnly map[*callgraph.Node]bool) *funcFacts {
+	ff := &funcFacts{}
+	for _, c := range n.Calls {
+		if c.Callee == nil || !mergeOnly[c.Callee] {
+			continue
+		}
+		if pass.Suppressed(c.Site, "shard-ok") {
+			continue
+		}
+		ff.violations = append(ff.violations, violation{
+			pos: c.Site.Pos(),
+			msg: "call to merge-only " + c.Callee.Name() +
+				" — buffer the effect per shard and apply it after the barrier",
+		})
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range s.Lhs {
 				noteWrite(pass, ff, s, lhs)
@@ -215,17 +193,4 @@ func baseVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
 			return nil
 		}
 	}
-}
-
-// calleeOf resolves a call expression to its statically-known callee.
-func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
 }

@@ -1,6 +1,7 @@
 // Package memctrl is a deliberately-broken fixture: the CI smoke step
-// runs mclint over it and asserts horizonarm and groupsync fire. It
-// must compile; it must NOT be fixed.
+// runs mclint over it and asserts horizonarm, groupsync, freelive
+// (the un-annotated readQ stores below) and hotalloc fire. It must
+// compile; it must NOT be fixed.
 package memctrl
 
 // Request is a minimal request.
@@ -53,4 +54,18 @@ func (c *Controller) DropWriteFiled(r *Request) {
 	c.noteEnqueue(r)
 	c.writeQ = c.writeQ[:len(c.writeQ)-1]
 	c.groupRemove(r)
+}
+
+// Tick is annotated as a hot path but allocates a scratch slice every
+// call through its helper: hotalloc must flag the make in rebuild.
+//
+//mclint:hotpath
+func (c *Controller) Tick(now uint64) {
+	c.rebuild()
+}
+
+func (c *Controller) rebuild() {
+	scratch := make([]*Request, 0, len(c.readQ))
+	scratch = append(scratch, c.readQ...)
+	c.readQ = scratch
 }

@@ -127,7 +127,8 @@ func (s *TenantStats) RowHitRate() float64 {
 
 // completion is an in-flight data transfer.
 type completion struct {
-	at  uint64
+	at uint64
+	//mclint:owns -- the retire loop pops the completion and recycles its request in the same iteration; nothing reads the slot afterwards (inflightHd advances past it)
 	req *Request
 }
 
@@ -164,7 +165,9 @@ type Controller struct {
 	// path (see noteEnqueue).
 	pagePure bool
 
-	readQ  []*Request
+	//mclint:owns -- a request leaves readQ at issue/forward time (removeRequest), strictly before its recycle in Tick step 1
+	readQ []*Request
+	//mclint:owns -- a request leaves writeQ at issue or coalesce time (removeRequest), strictly before its recycle in Tick step 1
 	writeQ []*Request
 
 	// writeByAddr indexes the write queue by block address: the
@@ -173,6 +176,7 @@ type Controller struct {
 	// are unique within the queue (coalescing guarantees it), and the
 	// map is only ever probed — never iterated — so it introduces no
 	// ordering sensitivity.
+	//mclint:owns -- the entry is deleted when its write issues (issue deletes by Addr), before the request can recycle; debug builds assert residue at the recycle point (assertRecycleClean)
 	writeByAddr map[uint64]*Request
 
 	// inflight holds issued column accesses ordered by completion
@@ -190,6 +194,7 @@ type Controller struct {
 	// bucket and group at issue time, policies do not retain pointers
 	// past OnComplete (the Policy contract), and OnDone callbacks
 	// receive only the completion cycle.
+	//mclint:owns -- freeReq IS the free list; entering it is the recycle point itself
 	freeReq []*Request
 
 	writeMode bool
@@ -242,8 +247,9 @@ type Controller struct {
 	// oldest-ID index (noID when the bank has none of that kind);
 	// grpPending spools enqueued requests until the next option build
 	// folds them in (the enqueue path stays O(1)).
-	grp          []group
-	grpFree      []int32
+	grp     []group
+	grpFree []int32
+	//mclint:owns -- groupFold drains and nils every pending slot before any read of the index; a request cannot recycle while still queued, and it is queued for as long as it is pending
 	grpPending   []*Request
 	readOrder    []int32
 	writeOrder   []int32
@@ -309,7 +315,9 @@ const (
 // removal swaps with the tail. seq bumps on every membership or
 // pendingClose change and invalidates the bank's cached horizon.
 type bankQueue struct {
-	reads  []*Request
+	//mclint:owns -- removeRequest deletes the request from its bank bucket at issue/forward time, before its recycle
+	reads []*Request
+	//mclint:owns -- removeRequest deletes the request from its bank bucket at issue/coalesce time, before its recycle
 	writes []*Request
 	seq    uint32
 	// groups holds the handles of this bank's live candidate groups
@@ -354,7 +362,8 @@ type groupTable struct {
 type groupSlot struct {
 	key   uint64
 	epoch uint32
-	req   *Request
+	//mclint:owns -- reference-rebuild scratch: every slot is epoch-invalidated at the top of each buildOptionsRef call, so a stale pointer is never dereferenced
+	req *Request
 }
 
 // newGroupTable sizes the table for at most maxGroups resident
@@ -471,6 +480,8 @@ func (c *Controller) Pending() int {
 // full; the caller must retry later (modelling backpressure into the
 // cache hierarchy). Reads that match a queued write's address are
 // served by forwarding without touching DRAM.
+//
+//mclint:hotpath
 func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.Location, kind RequestKind, onDone func(uint64)) bool {
 	if kind.IsWrite() {
 		panic("memctrl: EnqueueRead called with a write kind")
@@ -508,6 +519,8 @@ func (c *Controller) EnqueueRead(now uint64, src Source, addr uint64, loc dram.L
 
 // EnqueueWrite queues a writeback. It returns false when the write
 // queue is full. A write to an address already queued is merged.
+//
+//mclint:hotpath
 func (c *Controller) EnqueueWrite(now uint64, src Source, addr uint64, loc dram.Location, onDone func(uint64)) bool {
 	if _, ok := c.writeByAddr[addr]; ok {
 		// Coalesce: the queued write already covers this block.
@@ -527,7 +540,7 @@ func (c *Controller) EnqueueWrite(now uint64, src Source, addr uint64, loc dram.
 	}
 	c.nextID++
 	c.writeQ = append(c.writeQ, r)
-	c.writeByAddr[addr] = r
+	c.writeByAddr[addr] = r //mclint:alloc-ok -- the map is pre-sized to WriteQueueCap at construction and never holds more than the queue cap, so steady-state writes never grow it
 	bk := &c.bankQ[r.Loc.Rank*c.ch.Geo.Banks+r.Loc.Bank]
 	bk.writes = append(bk.writes, r)
 	bk.seq++
@@ -547,7 +560,22 @@ func (c *Controller) newRequest() *Request {
 		c.freeReq = c.freeReq[:n-1]
 		return r
 	}
-	return &Request{}
+	return &Request{} //mclint:alloc-ok -- free-list cold path: taken only until the working set of in-flight requests has been minted once; steady state always pops the list
+}
+
+// assertRecycleClean verifies, immediately before r returns to the
+// free list, that no index still reaches it. Today that means the
+// writeByAddr dedup map: a write is deleted from it at issue time, so
+// a surviving identity-match entry is a lifetime bug that would let a
+// future EnqueueRead forward stale data from a recycled struct. The
+// check is compiled in always but called only when debugLifetime is
+// set (-tags mclintdebug); the stale entry is removed before
+// panicking so tests can recover and keep the controller usable.
+func (c *Controller) assertRecycleClean(r *Request) {
+	if c.writeByAddr[r.Addr] == r {
+		delete(c.writeByAddr, r.Addr)
+		panic(fmt.Sprintf("memctrl: recycling request %d (addr %#x) still indexed by writeByAddr — dropped reference discipline violated", r.ID, r.Addr))
+	}
 }
 
 func (c *Controller) scheduleCompletion(r *Request, at uint64) {
@@ -695,6 +723,8 @@ func (c *Controller) setPendingClose(idx int, v bool) {
 // inside Tick must go through a per-channel buffer the way OnDone
 // completions do (core's fill buffering), or lock like
 // obs.TraceWriter.
+//
+//mclint:hotpath
 func (c *Controller) Tick(now uint64) {
 	if c.fastPath && now < c.wakeAt && (len(c.inflight) == c.inflightHd || c.inflight[c.inflightHd].at > now) {
 		return
@@ -730,6 +760,9 @@ func (c *Controller) Tick(now uint64) {
 			done.req.OnDone(now)
 		}
 		c.policy.OnComplete(done.req, now)
+		if debugLifetime {
+			c.assertRecycleClean(done.req)
+		}
 		c.freeReq = append(c.freeReq, done.req)
 	}
 	if c.inflightHd == len(c.inflight) && c.inflightHd > 0 {

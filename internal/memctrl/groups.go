@@ -54,7 +54,9 @@ type group struct {
 
 	// reads and writes hold the group's queued requests in ascending
 	// ID order; index 0 is the group's oldest of that kind.
-	reads  []*Request
+	//mclint:owns -- groupRemove pops the request from its group at issue/forward time, before its recycle; popGroupReq nils the vacated slot
+	reads []*Request
+	//mclint:owns -- groupRemove pops the request from its group at issue/coalesce time, before its recycle; popGroupReq nils the vacated slot
 	writes []*Request
 
 	// Cached candidate command: the option this group generated last
@@ -119,7 +121,7 @@ func (c *Controller) groupFold() {
 	if cap(c.grp) == 0 && len(c.grpPending) > 0 {
 		// First fold: size the arena for the batch in one allocation
 		// instead of growing geometrically through it.
-		c.grp = make([]group, 0, len(c.grpPending))
+		c.grp = make([]group, 0, len(c.grpPending)) //mclint:alloc-ok -- one-time arena sizing: cap(c.grp)==0 only before the first fold of a controller's life; the arena is reused (grpFree) forever after
 	}
 	for i, r := range c.grpPending {
 		c.groupEnqueue(r)

@@ -1,0 +1,10 @@
+//go:build mclintdebug
+
+package memctrl
+
+// debugLifetime turns on the free-list lifetime assertions (see
+// assertRecycleClean): build with -tags mclintdebug to have every
+// request recycle verified against the writeByAddr index. The flag is
+// a compile-time constant so the release build carries no branch at
+// all on the retire path.
+const debugLifetime = true

@@ -1,0 +1,7 @@
+//go:build !mclintdebug
+
+package memctrl
+
+// debugLifetime is off in release builds: the recycle-path assertion
+// compiles away entirely. Build with -tags mclintdebug to enable it.
+const debugLifetime = false

@@ -11,6 +11,7 @@ type Option struct {
 	// Req is the queued request this command advances. For a
 	// PRECHARGE generated to resolve a row conflict, Req is the
 	// conflicting (waiting) request, not the one that opened the row.
+	//mclint:owns -- options live in the controller's per-tick scratch buffer, rebuilt every decision cycle and never read across a tick; a queued request cannot recycle within its tick
 	Req *Request
 	// RowHit reports that Cmd is a column access to an already-open
 	// row.
@@ -43,6 +44,7 @@ type View struct {
 	// arrival order. Policies must treat them as read-only; they are
 	// valid only for the duration of the Pick call. Policies that need
 	// whole-queue visibility (PAR-BS batching) use these.
+	//mclint:owns -- aliases of the live queues, valid only within one Pick call; queue membership cannot change (and so nothing can recycle) while the policy holds the View
 	ReadQueue, WriteQueue []*Request
 }
 
